@@ -1,0 +1,92 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks: one benchmark per artifact, each a thin
+// wrapper over internal/experiment (cmd/rlzbench prints the same tables
+// with full formatting).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The default scale matches experiment.Default; -short switches to the
+// miniature experiment.Quick configuration. Each benchmark reports the
+// key space metric of its table via b.ReportMetric so shapes are visible
+// in bench output without re-running the CLI.
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rlz/internal/experiment"
+)
+
+func cfg(b *testing.B) experiment.Config {
+	if testing.Short() {
+		return experiment.Quick
+	}
+	return experiment.Default
+}
+
+// runTable regenerates one artifact b.N times. metricCol, when >= 0,
+// selects a numeric column whose first-row value is reported (e.g. the
+// best Enc% of the grid).
+func runTable(b *testing.B, id string, metricCol int, metricName string) {
+	r, ok := experiment.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	c := cfg(b)
+	var last *experiment.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	if metricCol >= 0 && len(last.Rows) > 0 {
+		v, err := strconv.ParseFloat(strings.TrimSpace(last.Rows[0][metricCol]), 64)
+		if err == nil {
+			b.ReportMetric(v, metricName)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (GOV2 stand-in factor statistics).
+func BenchmarkTable2(b *testing.B) { runTable(b, "Table 2", 2, "avg-factor-len") }
+
+// BenchmarkTable3 regenerates Table 3 (Wikipedia stand-in factor stats).
+func BenchmarkTable3(b *testing.B) { runTable(b, "Table 3", 2, "avg-factor-len") }
+
+// BenchmarkFigure3 regenerates Figure 3 (length-value histogram).
+func BenchmarkFigure3(b *testing.B) { runTable(b, "Figure 3", -1, "") }
+
+// BenchmarkTable4 regenerates Table 4 (RLZ grid, GOV2 crawl order).
+func BenchmarkTable4(b *testing.B) { runTable(b, "Table 4", 2, "enc-pct") }
+
+// BenchmarkTable5 regenerates Table 5 (RLZ grid, GOV2 URL-sorted).
+func BenchmarkTable5(b *testing.B) { runTable(b, "Table 5", 2, "enc-pct") }
+
+// BenchmarkTable6 regenerates Table 6 (baselines, GOV2 crawl order).
+func BenchmarkTable6(b *testing.B) { runTable(b, "Table 6", 2, "ascii-enc-pct") }
+
+// BenchmarkTable7 regenerates Table 7 (baselines, GOV2 URL-sorted).
+func BenchmarkTable7(b *testing.B) { runTable(b, "Table 7", 2, "ascii-enc-pct") }
+
+// BenchmarkTable8 regenerates Table 8 (RLZ grid, Wikipedia).
+func BenchmarkTable8(b *testing.B) { runTable(b, "Table 8", 2, "enc-pct") }
+
+// BenchmarkTable9 regenerates Table 9 (baselines, Wikipedia).
+func BenchmarkTable9(b *testing.B) { runTable(b, "Table 9", 2, "ascii-enc-pct") }
+
+// BenchmarkTable10 regenerates Table 10 (prefix-dictionary robustness).
+func BenchmarkTable10(b *testing.B) { runTable(b, "Table 10", 1, "full-prefix-enc-pct") }
+
+// BenchmarkExtensions regenerates the §6 future-work table (Simple9
+// length coding, iterative dictionary refinement).
+func BenchmarkExtensions(b *testing.B) { runTable(b, "Extensions", 1, "enc-pct") }
+
+// BenchmarkGenomes regenerates the genome-collection table (RLZ's
+// original domain, the paper's citation [20]).
+func BenchmarkGenomes(b *testing.B) { runTable(b, "Genomes", 1, "enc-pct") }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlz/internal/store"
+)
+
+// cmdGrep searches the archive for a byte pattern and prints one line per
+// match: document ID, offset, and a context window fetched with GetRange
+// (so only the window is decoded, not the whole document twice).
+func cmdGrep(args []string) error {
+	fs := flag.NewFlagSet("grep", flag.ExitOnError)
+	arc := fs.String("a", "", "archive path (required)")
+	limit := fs.Int("n", 0, "stop after this many matches (0 = all)")
+	radius := fs.Int("c", 30, "context bytes shown on each side of a match")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *arc == "" || fs.NArg() != 1 {
+		return fmt.Errorf("grep: -a ARCHIVE and exactly one PATTERN are required")
+	}
+	pattern := []byte(fs.Arg(0))
+
+	r, err := store.OpenFile(*arc)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	matches, err := r.FindAll(pattern, *limit)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		ctx, err := r.GetRange(m.Doc, m.Offset-*radius, m.Offset+len(pattern)+*radius)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "doc %d @%d: %q\n", m.Doc, m.Offset, ctx)
+	}
+	fmt.Fprintf(os.Stdout, "%d match(es)\n", len(matches))
+	return nil
+}

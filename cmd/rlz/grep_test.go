@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGrep(t *testing.T) {
+	dir := t.TempDir()
+	docs := map[string]string{
+		"a.txt": "alpha needle beta",
+		"b.txt": "no hits here",
+		"c.txt": "needle at start and needle at end",
+	}
+	for name, body := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arc := filepath.Join(t.TempDir(), "g.rlz")
+	if err := cmdBuild([]string{"-o", arc, "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGrep([]string{"-a", arc, "needle"}); err != nil {
+		t.Fatalf("grep: %v", err)
+	}
+	if err := cmdGrep([]string{"-a", arc, "-n", "1", "needle"}); err != nil {
+		t.Fatalf("limited grep: %v", err)
+	}
+	if err := cmdGrep([]string{"-a", arc}); err == nil {
+		t.Error("grep without pattern accepted")
+	}
+	if err := cmdGrep([]string{"needle"}); err == nil {
+		t.Error("grep without archive accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Command rlz builds and queries RLZ archives: document collections
+// compressed against a sampled dictionary with fast random access, per
+// Hoobin, Puglisi & Zobel (VLDB 2011).
+//
+// Usage:
+//
+//	rlz build -o archive.rlz [-codec ZV] [-dict 1MB] [-sample 1KB] FILE...
+//	rlz build -o archive.rlz -dir ./crawl
+//	rlz get -a archive.rlz -id 3
+//	rlz cat -a archive.rlz
+//	rlz stats -a archive.rlz
+//	rlz verify -a archive.rlz
+//
+// Each input file is one document; -dir walks a directory tree in
+// lexical order, taking every regular file as a document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rlz/internal/rlz"
+	"rlz/internal/store"
+	"rlz/internal/units"
+	"rlz/internal/warc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "get":
+		err = cmdGet(os.Args[2:])
+	case "cat":
+		err = cmdCat(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "grep":
+		err = cmdGrep(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rlz: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rlz build  -o ARCHIVE [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE] FILE... | -dir DIR
+  rlz get    -a ARCHIVE -id N
+  rlz cat    -a ARCHIVE
+  rlz stats  -a ARCHIVE
+  rlz verify -a ARCHIVE
+  rlz grep   -a ARCHIVE [-n LIMIT] [-c RADIUS] PATTERN`)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "", "output archive path (required)")
+	codecName := fs.String("codec", "ZV", "pair codec: ZZ, ZV, UZ, UV (paper) or ZS, US, ZH, UH (extensions)")
+	dictSize := fs.String("dict", "0", "dictionary size (e.g. 1MB); 0 means 1% of the collection")
+	sampleSize := fs.String("sample", "1KB", "dictionary sample length")
+	dir := fs.String("dir", "", "treat every regular file under this directory as a document")
+	warcPath := fs.String("warc", "", "read documents from a warc collection file (see cmd/rlzgen)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("build: -o is required")
+	}
+	codec, err := rlz.CodecByName(*codecName)
+	if err != nil {
+		return err
+	}
+	ds, err := units.ParseSize(*dictSize)
+	if err != nil {
+		return err
+	}
+	ss, err := units.ParseSize(*sampleSize)
+	if err != nil {
+		return err
+	}
+
+	// Gather documents: explicit files, a directory walk, or a warc
+	// collection file.
+	var docs [][]byte
+	var names []string
+	switch {
+	case *warcPath != "":
+		recs, err := warc.ReadFile(*warcPath)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			docs = append(docs, rec.Body)
+			names = append(names, rec.URL)
+		}
+	default:
+		paths := fs.Args()
+		if *dir != "" {
+			paths, err = collectFiles(*dir)
+			if err != nil {
+				return err
+			}
+		}
+		docs = make([][]byte, len(paths))
+		names = paths
+		for i, p := range paths {
+			docs[i], err = os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("build: no input documents")
+	}
+
+	// Pass 1: read the collection to sample the dictionary (§3.3 treats
+	// the collection as a single string).
+	var total int
+	for _, d := range docs {
+		total += len(d)
+	}
+	collection := make([]byte, 0, total)
+	for _, d := range docs {
+		collection = append(collection, d...)
+	}
+	if ds <= 0 {
+		ds = total / 100
+		if ds < 4096 {
+			ds = 4096
+		}
+	}
+	dict := rlz.SampleEven(collection, ds, ss)
+
+	// Pass 2: factorize and write.
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := store.NewWriter(f, dict, codec)
+	if err != nil {
+		return err
+	}
+	stats := rlz.NewStats(w.Dictionary())
+	w.CollectStats(stats)
+	for i, d := range docs {
+		if _, err := w.Append(d); err != nil {
+			return fmt.Errorf("appending %s: %w", names[i], err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d docs, %d -> %d bytes (%.2f%%), dict %d bytes, codec %s, avg factor %.1f\n",
+		*out, len(docs), total, st.Size(), 100*float64(st.Size())/float64(total),
+		len(dict), codec, stats.AvgFactorLen())
+	return nil
+}
+
+func collectFiles(root string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	sort.Strings(paths)
+	return paths, err
+}
+
+func cmdGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	arc := fs.String("a", "", "archive path (required)")
+	id := fs.Int("id", -1, "document ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *arc == "" || *id < 0 {
+		return fmt.Errorf("get: -a and -id are required")
+	}
+	r, err := store.OpenFile(*arc)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	doc, err := r.Get(*id)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(doc)
+	return err
+}
+
+func cmdCat(args []string) error {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	arc := fs.String("a", "", "archive path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *arc == "" {
+		return fmt.Errorf("cat: -a is required")
+	}
+	r, err := store.OpenFile(*arc)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var buf []byte
+	for id := 0; id < r.NumDocs(); id++ {
+		buf, err = r.GetAppend(buf[:0], id)
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	arc := fs.String("a", "", "archive path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *arc == "" {
+		return fmt.Errorf("stats: -a is required")
+	}
+	r, err := store.OpenFile(*arc)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var raw int64
+	var buf []byte
+	for id := 0; id < r.NumDocs(); id++ {
+		buf, err = r.GetAppend(buf[:0], id)
+		if err != nil {
+			return err
+		}
+		raw += int64(len(buf))
+	}
+	fmt.Printf("documents:   %d\n", r.NumDocs())
+	fmt.Printf("codec:       %s\n", r.Codec())
+	fmt.Printf("dictionary:  %d bytes\n", r.DictLen())
+	fmt.Printf("archive:     %d bytes\n", r.Size())
+	fmt.Printf("decoded:     %d bytes\n", raw)
+	if raw > 0 {
+		fmt.Printf("ratio:       %.2f%%\n", 100*float64(r.Size())/float64(raw))
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	arc := fs.String("a", "", "archive path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *arc == "" {
+		return fmt.Errorf("verify: -a is required")
+	}
+	r, err := store.OpenFile(*arc)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var buf []byte
+	for id := 0; id < r.NumDocs(); id++ {
+		buf, err = r.GetAppend(buf[:0], id)
+		if err != nil {
+			return fmt.Errorf("document %d: %w", id, err)
+		}
+	}
+	fmt.Printf("%s: %d documents decode cleanly\n", *arc, r.NumDocs())
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"rlz/internal/corpus"
+	"rlz/internal/store"
+	"rlz/internal/warc"
+)
+
+// TestBuildFromWARC exercises the full toolchain: generate a collection,
+// serialize it to the warc container, build an archive from it with the
+// CLI path, and read every document back.
+func TestBuildFromWARC(t *testing.T) {
+	coll := corpus.Generate(corpus.Gov, 1<<20, 33)
+	warcPath := filepath.Join(t.TempDir(), "crawl.warc")
+	if err := warc.WriteFile(warcPath, coll.Records()); err != nil {
+		t.Fatal(err)
+	}
+	arc := filepath.Join(t.TempDir(), "crawl.rlz")
+	if err := cmdBuild([]string{"-o", arc, "-warc", warcPath, "-codec", "ZV", "-dict", "16KB"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.OpenFile(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumDocs() != coll.Len() {
+		t.Fatalf("NumDocs = %d, want %d", r.NumDocs(), coll.Len())
+	}
+	for _, id := range []int{0, coll.Len() / 3, coll.Len() - 1} {
+		got, err := r.Get(id)
+		if err != nil || !bytes.Equal(got, coll.Docs[id].Body) {
+			t.Fatalf("Get(%d): %v", id, err)
+		}
+	}
+}
+
+func TestBuildFromMissingWARC(t *testing.T) {
+	arc := filepath.Join(t.TempDir(), "x.rlz")
+	if err := cmdBuild([]string{"-o", arc, "-warc", "/nonexistent.warc"}); err == nil {
+		t.Error("missing warc accepted")
+	}
+}

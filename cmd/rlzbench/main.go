@@ -1,0 +1,101 @@
+// Command rlzbench regenerates the tables and figures of the paper's
+// evaluation section on synthetic collections.
+//
+// Usage:
+//
+//	rlzbench -all                 # every table and figure, paper order
+//	rlzbench -run "Table 4"       # one experiment
+//	rlzbench -run "Figure 3"
+//	rlzbench -quick -all          # miniature scale (seconds, for smoke tests)
+//	rlzbench -gov 64MB -wiki 32MB -all
+//
+// Output is plain aligned text, one block per experiment, in the same
+// row/column layout as the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rlz/internal/experiment"
+	"rlz/internal/units"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every table and figure")
+		run    = flag.String("run", "", `experiment to run, e.g. "Table 4" or "Figure 3"`)
+		quick  = flag.Bool("quick", false, "miniature configuration (smoke test)")
+		gov    = flag.String("gov", "", "override GOV2 stand-in size, e.g. 64MB")
+		wiki   = flag.String("wiki", "", "override Wikipedia stand-in size, e.g. 32MB")
+		seed   = flag.Int64("seed", 0, "override random seed")
+		listIt = flag.Bool("list", false, "list available experiments")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	cfg := experiment.Default
+	if *quick {
+		cfg = experiment.Quick
+	}
+	if *gov != "" {
+		n, err := units.ParseSize(*gov)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.GovBytes = n
+	}
+	if *wiki != "" {
+		n, err := units.ParseSize(*wiki)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.WikiBytes = n
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	switch {
+	case *listIt:
+		for _, r := range experiment.All {
+			fmt.Println(r.ID)
+		}
+	case *all:
+		for _, r := range experiment.All {
+			runOne(r, cfg, *asCSV)
+		}
+	case *run != "":
+		r, ok := experiment.ByID(*run)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", *run))
+		}
+		runOne(r, cfg, *asCSV)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(r experiment.Runner, cfg experiment.Config, asCSV bool) {
+	start := time.Now()
+	tab, err := r.Run(cfg)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", r.ID, err))
+	}
+	if asCSV {
+		if err := tab.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	tab.Print(os.Stdout)
+	fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlzbench:", err)
+	os.Exit(1)
+}

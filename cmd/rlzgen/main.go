@@ -1,0 +1,66 @@
+// Command rlzgen writes synthetic web collections to disk in the warc
+// container, so the archive tooling can be exercised without access to
+// the paper's TREC corpora.
+//
+// Usage:
+//
+//	rlzgen -profile gov -size 64MB -o crawl.warc
+//	rlzgen -profile wiki -size 16MB -seed 7 -sort url -o wiki.warc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlz/internal/corpus"
+	"rlz/internal/units"
+	"rlz/internal/warc"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "gov", "collection profile: gov or wiki")
+		size    = flag.String("size", "16MB", "approximate total collection size")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		order   = flag.String("sort", "crawl", "document order: crawl or url")
+		out     = flag.String("o", "", "output path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "rlzgen: -o is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var p corpus.Profile
+	switch *profile {
+	case "gov":
+		p = corpus.Gov
+	case "wiki":
+		p = corpus.Wiki
+	default:
+		fatal(fmt.Errorf("unknown profile %q (gov or wiki)", *profile))
+	}
+	n, err := units.ParseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	c := corpus.Generate(p, n, *seed)
+	switch *order {
+	case "crawl":
+	case "url":
+		c.SortByURL()
+	default:
+		fatal(fmt.Errorf("unknown order %q (crawl or url)", *order))
+	}
+	if err := warc.WriteFile(*out, c.Records()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d documents, %s, %s order, profile %s, seed %d\n",
+		*out, c.Len(), units.FormatSize(int(c.TotalSize())), *order, p.Name, *seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlzgen:", err)
+	os.Exit(1)
+}

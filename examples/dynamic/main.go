@@ -1,0 +1,72 @@
+// Dynamic: RLZ in a growing collection (§3.6 and Table 10 of the paper).
+//
+// The dictionary is sampled when only a fraction of the eventual
+// collection exists; documents that arrive later are compressed against
+// that stale dictionary. The demo shows the paper's finding: compression
+// degrades only slightly, because evenly sampled dictionaries capture
+// structure that persists as the collection grows.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlz/internal/corpus"
+	"rlz/internal/rlz"
+)
+
+func main() {
+	coll := corpus.Generate(corpus.Wiki, 6<<20, 11)
+	collection := coll.Bytes()
+	raw := len(collection)
+	dictSize := raw / 50 // 2% dictionary
+	fmt.Printf("collection: %d documents, %.1f MB; dictionary budget %d KB\n\n",
+		coll.Len(), float64(raw)/(1<<20), dictSize>>10)
+
+	fmt.Println("dictionary sampled from a PREFIX of the collection, then")
+	fmt.Println("used to compress ALL of it (ZZ pair coding):")
+	fmt.Printf("  %-8s  %s\n", "prefix", "encoding %")
+	for _, pct := range []int{100, 75, 50, 25, 10, 1} {
+		prefixLen := raw * pct / 100
+		dictData := rlz.SamplePrefix(collection, prefixLen, dictSize, 1<<10)
+		dict, err := rlz.NewDictionary(dictData)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var encoded int
+		var factors []rlz.Factor
+		for _, d := range coll.Docs {
+			factors = dict.Factorize(d.Body, factors[:0])
+			encoded += rlz.CodecZZ.EncodedSize(factors)
+		}
+		encoded += len(dictData) // the dictionary ships with the archive
+		fmt.Printf("  %6d%%   %6.2f\n", pct, 100*float64(encoded)/float64(raw))
+	}
+
+	fmt.Println("\nappending genuinely NEW content (fresh sites never sampled):")
+	extra := corpus.Generate(corpus.Wiki, 1<<20, 999) // different seed = new sites
+	dictData := rlz.SampleEven(collection, dictSize, 1<<10)
+	dict, err := rlz.NewDictionary(dictData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure := func(c *corpus.Collection) float64 {
+		var encoded, raw int
+		var factors []rlz.Factor
+		for _, d := range c.Docs {
+			factors = dict.Factorize(d.Body, factors[:0])
+			encoded += rlz.CodecZZ.EncodedSize(factors)
+			raw += len(d.Body)
+		}
+		return 100 * float64(encoded) / float64(raw)
+	}
+	fmt.Printf("  original documents: %6.2f%% (payload only)\n", measure(coll))
+	fmt.Printf("  unseen documents:   %6.2f%% (payload only)\n", measure(extra))
+	fmt.Println("\nnew same-genre content still compresses well; when drift grows,")
+	fmt.Println("§3.6's remedies apply: append fresh samples to the dictionary (old")
+	fmt.Println("factor codes stay valid) or regenerate the dictionary entirely.")
+}

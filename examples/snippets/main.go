@@ -1,0 +1,123 @@
+// Snippets: query-biased snippet generation over an RLZ archive — the
+// motivating workload from the paper's introduction. A search engine
+// serving results must fetch each hit document and extract a text window
+// around the query terms; that demands exactly the fast random access RLZ
+// provides.
+//
+// Run with:
+//
+//	go run ./examples/snippets
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"rlz/internal/corpus"
+	"rlz/internal/rlz"
+	"rlz/internal/store"
+	"rlz/internal/workload"
+)
+
+func main() {
+	coll := corpus.Generate(corpus.Gov, 4<<20, 3)
+	dictData := rlz.SampleEven(coll.Bytes(), int(coll.TotalSize())/100, 1<<10)
+
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf, dictData, rlz.CodecZV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range coll.Docs {
+		if _, err := w.Append(d.Body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	r, err := store.OpenBytes(buf.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive: %d documents, %.2f%% of raw\n\n",
+		r.NumDocs(), 100*float64(r.Size())/float64(coll.TotalSize()))
+
+	// Pick a query term that actually occurs: the most common word of
+	// document 0's body text.
+	query := commonWord(coll.Docs[0].Body)
+	fmt.Printf("query: %q\n", query)
+
+	// Simulate the search engine's top-20 hits for 50 queries, then fetch
+	// each hit and produce a snippet.
+	hits := workload.QueryLog(r.NumDocs(), 50*20, 9)
+	start := time.Now()
+	shown := 0
+	var doc []byte
+	for _, id := range hits {
+		doc, err = r.GetAppend(doc[:0], id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s, ok := snippet(doc, query, 60); ok && shown < 5 {
+			fmt.Printf("  doc %5d: ...%s...\n", id, s)
+			shown++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nfetched and snippeted %d result documents in %v (%.0f docs/s)\n",
+		len(hits), elapsed.Round(time.Millisecond), float64(len(hits))/elapsed.Seconds())
+}
+
+// snippet returns a text window of the given radius around the first
+// occurrence of term, with markup stripped and whitespace collapsed.
+func snippet(doc []byte, term string, radius int) (string, bool) {
+	i := bytes.Index(doc, []byte(term))
+	if i < 0 {
+		return "", false
+	}
+	lo, hi := i-radius, i+len(term)+radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(doc) {
+		hi = len(doc)
+	}
+	window := string(doc[lo:hi])
+	// Strip any tags overlapping the window.
+	var b strings.Builder
+	inTag := false
+	for _, c := range window {
+		switch {
+		case c == '<':
+			inTag = true
+		case c == '>':
+			inTag = false
+			b.WriteByte(' ')
+		case !inTag:
+			b.WriteRune(c)
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " "), true
+}
+
+// commonWord finds a frequent plain word in the document body.
+func commonWord(doc []byte) string {
+	counts := map[string]int{}
+	for _, f := range strings.Fields(string(doc)) {
+		if strings.ContainsAny(f, "<>/\"=") || len(f) < 4 {
+			continue
+		}
+		counts[f]++
+	}
+	best, bestN := "the", 0
+	for w, n := range counts {
+		if n > bestN {
+			best, bestN = w, n
+		}
+	}
+	return best
+}

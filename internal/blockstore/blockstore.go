@@ -1,0 +1,413 @@
+// Package blockstore implements the baseline document storage scheme the
+// paper compares against (§2.2): documents are grouped into fixed-size
+// blocks and each block is compressed independently with an adaptive
+// compressor — zlib (as Lucene/Indri do) or this repository's large-window
+// LZ77 coder standing in for lzma.
+//
+// Retrieving a document requires reading and decompressing its whole
+// block, so on average half a block of work per random access — exactly
+// the trade-off RLZ is designed to escape. A block size of zero means one
+// document per block (the paper's "0.0MB" rows).
+//
+// Layout:
+//
+//	header  magic "BLKS", version, algorithm byte
+//	blocks  compressed blocks, concatenated
+//	maps    block map (extents of blocks), then per-document locators
+//	        (block index delta, offset in block, length), then footer
+//	        (u64 map offset, magic "BLKE")
+package blockstore
+
+import (
+	"bytes"
+	"compress/zlib"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"rlz/internal/coding"
+	"rlz/internal/docmap"
+	"rlz/internal/lz77"
+)
+
+// Algorithm selects the per-block compressor.
+type Algorithm byte
+
+const (
+	// Zlib compresses blocks with compress/zlib at best compression —
+	// the paper's zlib baseline.
+	Zlib Algorithm = 'z'
+	// LZ77 compresses blocks with the large-window coder from
+	// internal/lz77 — the paper's lzma baseline.
+	LZ77 Algorithm = 'l'
+)
+
+// String names the algorithm as the paper's tables do.
+func (a Algorithm) String() string {
+	switch a {
+	case Zlib:
+		return "zlib"
+	case LZ77:
+		return "lzma*" // the lzma-substitute; see DESIGN.md
+	default:
+		return fmt.Sprintf("Algorithm(%d)", byte(a))
+	}
+}
+
+const (
+	version     = 1
+	headerMagic = "BLKS"
+	footerMagic = "BLKE"
+	footerSize  = 8 + 4
+)
+
+// ErrCorruptArchive is returned when a blockstore fails structural checks.
+var ErrCorruptArchive = errors.New("blockstore: corrupt archive")
+
+// Options configures a Writer.
+type Options struct {
+	// BlockSize is the uncompressed block capacity in bytes. Zero means
+	// one document per block.
+	BlockSize int
+	// Algorithm selects the block compressor; the zero value means Zlib.
+	Algorithm Algorithm
+	// LZ77 tunes the LZ77 algorithm; ignored for Zlib.
+	LZ77 lz77.Options
+}
+
+func (o Options) algorithm() Algorithm {
+	if o.Algorithm == 0 {
+		return Zlib
+	}
+	return o.Algorithm
+}
+
+// docLoc locates a document: which block, where within it, how long.
+type docLoc struct {
+	block  uint32
+	offset uint32
+	length uint32
+}
+
+// Writer builds a blocked archive.
+type Writer struct {
+	w      countingWriter
+	opt    Options
+	blocks *docmap.Map // extents of compressed blocks
+	docs   []docLoc
+	cur    []byte // current uncompressed block
+	closed bool
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// NewWriter starts a blocked archive on w.
+func NewWriter(w io.Writer, opt Options) (*Writer, error) {
+	bw := &Writer{w: countingWriter{w: w}, opt: opt, blocks: docmap.New()}
+	hdr := []byte(headerMagic)
+	hdr = append(hdr, version, byte(opt.algorithm()))
+	if _, err := bw.w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("blockstore: writing header: %w", err)
+	}
+	return bw, nil
+}
+
+// Append adds a document, returning its ID. The document is buffered into
+// the current block; full blocks are compressed and written immediately.
+func (w *Writer) Append(doc []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("blockstore: append to closed writer")
+	}
+	id := len(w.docs)
+	w.docs = append(w.docs, docLoc{
+		block:  uint32(w.blocks.Len()),
+		offset: uint32(len(w.cur)),
+		length: uint32(len(doc)),
+	})
+	w.cur = append(w.cur, doc...)
+	// A zero block size flushes after every document; otherwise flush
+	// once the block has reached capacity, so blocks are at least
+	// BlockSize (documents are never split across blocks).
+	if w.opt.BlockSize <= 0 || len(w.cur) >= w.opt.BlockSize {
+		if err := w.flushBlock(); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	var comp []byte
+	switch w.opt.algorithm() {
+	case Zlib:
+		var buf bytes.Buffer
+		zw, err := zlib.NewWriterLevel(&buf, zlib.BestCompression)
+		if err != nil {
+			return fmt.Errorf("blockstore: %w", err)
+		}
+		if _, err := zw.Write(w.cur); err != nil {
+			return fmt.Errorf("blockstore: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("blockstore: %w", err)
+		}
+		comp = buf.Bytes()
+	case LZ77:
+		comp = lz77.Compress(nil, w.cur, w.opt.LZ77)
+	default:
+		return fmt.Errorf("blockstore: unknown algorithm %q", w.opt.Algorithm)
+	}
+	if _, err := w.w.Write(comp); err != nil {
+		return fmt.Errorf("blockstore: writing block: %w", err)
+	}
+	w.blocks.Append(uint64(len(comp)))
+	w.cur = w.cur[:0]
+	return nil
+}
+
+// NumDocs returns the number of documents appended so far.
+func (w *Writer) NumDocs() int { return len(w.docs) }
+
+// Close flushes the final block and writes the maps and footer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	mapOff := w.w.n
+	var tail []byte
+	tail = w.blocks.Marshal(tail)
+	tail = coding.PutUvarint64(tail, uint64(len(w.docs)))
+	prevBlock := uint32(0)
+	for _, d := range w.docs {
+		tail = coding.PutUvarint32(tail, d.block-prevBlock)
+		prevBlock = d.block
+		tail = coding.PutUvarint32(tail, d.offset)
+		tail = coding.PutUvarint32(tail, d.length)
+	}
+	tail = coding.PutU64(tail, uint64(mapOff))
+	tail = append(tail, footerMagic...)
+	if _, err := w.w.Write(tail); err != nil {
+		return fmt.Errorf("blockstore: writing footer: %w", err)
+	}
+	return nil
+}
+
+// Reader provides random access to a blocked archive. Every Get reads and
+// decompresses the target document's entire block — the baseline cost
+// model the paper measures. Reader is safe for concurrent use.
+type Reader struct {
+	r          io.ReaderAt
+	alg        Algorithm
+	blocks     *docmap.Map
+	docs       []docLoc
+	blockStart int64
+	size       int64
+	closer     io.Closer
+	cache      *blockCache // nil = uncached (paper-faithful)
+}
+
+// Open reads a blocked archive's maps from r, which must cover size bytes.
+func Open(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < footerSize+6 {
+		return nil, fmt.Errorf("%w: too small (%d bytes)", ErrCorruptArchive, size)
+	}
+	hdr := make([]byte, 6)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("blockstore: reading header: %w", err)
+	}
+	if string(hdr[:4]) != headerMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrCorruptArchive)
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptArchive, hdr[4])
+	}
+	alg := Algorithm(hdr[5])
+	if alg != Zlib && alg != LZ77 {
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrCorruptArchive, hdr[5])
+	}
+
+	foot := make([]byte, footerSize)
+	if _, err := r.ReadAt(foot, size-footerSize); err != nil {
+		return nil, fmt.Errorf("blockstore: reading footer: %w", err)
+	}
+	if string(foot[8:]) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorruptArchive)
+	}
+	mapOff64, _ := coding.U64(foot)
+	mapOff := int64(mapOff64)
+	if mapOff < 6 || mapOff > size-footerSize {
+		return nil, fmt.Errorf("%w: map offset %d out of range", ErrCorruptArchive, mapOff)
+	}
+	tail := make([]byte, size-footerSize-mapOff)
+	if _, err := r.ReadAt(tail, mapOff); err != nil {
+		return nil, fmt.Errorf("blockstore: reading maps: %w", err)
+	}
+
+	blocks, used, err := docmap.Unmarshal(tail)
+	if err != nil {
+		return nil, fmt.Errorf("%w: block map: %v", ErrCorruptArchive, err)
+	}
+	tail = tail[used:]
+	numDocs, used, err := coding.Uvarint64(tail)
+	if err != nil {
+		return nil, fmt.Errorf("%w: document count: %v", ErrCorruptArchive, err)
+	}
+	tail = tail[used:]
+	if numDocs > uint64(len(tail)) {
+		return nil, fmt.Errorf("%w: implausible document count %d", ErrCorruptArchive, numDocs)
+	}
+	docs := make([]docLoc, numDocs)
+	prevBlock := uint32(0)
+	for i := range docs {
+		var vals [3]uint32
+		for j := range vals {
+			v, n, err := coding.Uvarint32(tail)
+			if err != nil {
+				return nil, fmt.Errorf("%w: document locator %d: %v", ErrCorruptArchive, i, err)
+			}
+			vals[j] = v
+			tail = tail[n:]
+		}
+		prevBlock += vals[0]
+		docs[i] = docLoc{block: prevBlock, offset: vals[1], length: vals[2]}
+		if int(prevBlock) >= blocks.Len() {
+			return nil, fmt.Errorf("%w: document %d in block %d of %d", ErrCorruptArchive, i, prevBlock, blocks.Len())
+		}
+	}
+	blockStart := int64(6)
+	if int64(blocks.Total()) != mapOff-blockStart {
+		return nil, fmt.Errorf("%w: block map covers %d bytes, region is %d", ErrCorruptArchive, blocks.Total(), mapOff-blockStart)
+	}
+	return &Reader{r: r, alg: alg, blocks: blocks, docs: docs, blockStart: blockStart, size: size}, nil
+}
+
+// OpenBytes opens an archive held in memory.
+func OpenBytes(data []byte) (*Reader, error) {
+	return Open(bytes.NewReader(data), int64(len(data)))
+}
+
+// OpenFile opens an archive file. Close the Reader to release the file.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd, err := Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd.closer = f
+	return rd, nil
+}
+
+// NumDocs returns the number of documents in the archive.
+func (r *Reader) NumDocs() int { return len(r.docs) }
+
+// Algorithm returns the block compressor used by the archive.
+func (r *Reader) Algorithm() Algorithm { return r.alg }
+
+// Size returns the total archive size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// Extent returns the absolute extent of the *block* containing document
+// id — the bytes a Get must physically read.
+func (r *Reader) Extent(id int) (off, n int64, err error) {
+	if id < 0 || id >= len(r.docs) {
+		return 0, 0, fmt.Errorf("%w: document %d of %d", docmap.ErrNoSuchDoc, id, len(r.docs))
+	}
+	o, l, err := r.blocks.Extent(int(r.docs[id].block))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.blockStart + int64(o), int64(l), nil
+}
+
+// GetAppend retrieves document id, appending its text to dst. The whole
+// containing block is read and decompressed (no caching: each request pays
+// the full baseline cost, as in the paper's evaluation where OS caches are
+// dropped between runs).
+func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
+	if id < 0 || id >= len(r.docs) {
+		return dst, fmt.Errorf("%w: document %d of %d", docmap.ErrNoSuchDoc, id, len(r.docs))
+	}
+	loc := r.docs[id]
+	if r.cache != nil {
+		if block := r.cache.get(loc.block); block != nil {
+			end := int(loc.offset) + int(loc.length)
+			if end > len(block) {
+				return dst, fmt.Errorf("%w: document %d extent [%d,%d) outside cached block of %d", ErrCorruptArchive, id, loc.offset, end, len(block))
+			}
+			return append(dst, block[loc.offset:end]...), nil
+		}
+	}
+	off, n, err := r.Extent(id)
+	if err != nil {
+		return dst, err
+	}
+	comp := make([]byte, n)
+	if _, err := r.r.ReadAt(comp, off); err != nil {
+		return dst, fmt.Errorf("blockstore: reading block %d: %w", loc.block, err)
+	}
+	var block []byte
+	switch r.alg {
+	case Zlib:
+		zr, err := zlib.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
+		}
+		block, err = io.ReadAll(zr)
+		zr.Close()
+		if err != nil {
+			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
+		}
+	case LZ77:
+		block, err = lz77.Decompress(nil, comp)
+		if err != nil {
+			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
+		}
+	}
+	if r.cache != nil {
+		r.cache.put(loc.block, block)
+	}
+	end := int(loc.offset) + int(loc.length)
+	if end > len(block) {
+		return dst, fmt.Errorf("%w: document %d extent [%d,%d) outside block of %d", ErrCorruptArchive, id, loc.offset, end, len(block))
+	}
+	return append(dst, block[loc.offset:end]...), nil
+}
+
+// Get retrieves document id.
+func (r *Reader) Get(id int) ([]byte, error) {
+	return r.GetAppend(nil, id)
+}
+
+// Close releases the underlying file if the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package blockstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func makeDocs(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]byte, n)
+	for i := range docs {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "<html><title>Doc %d</title><body>", i)
+		for j := 0; j < 3+rng.Intn(10); j++ {
+			fmt.Fprintf(&b, "<p>repeated boilerplate %d</p>", rng.Intn(5))
+		}
+		fmt.Fprintf(&b, "%x</body></html>", rng.Int63())
+		docs[i] = b.Bytes()
+	}
+	return docs
+}
+
+func build(t *testing.T, docs [][]byte, opt Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range docs {
+		id, err := w.Append(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("Append returned %d, want %d", id, i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func verifyAll(t *testing.T, arc []byte, docs [][]byte, label string) *Reader {
+	t.Helper()
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if r.NumDocs() != len(docs) {
+		t.Fatalf("%s: NumDocs = %d, want %d", label, r.NumDocs(), len(docs))
+	}
+	for i, want := range docs {
+		got, err := r.Get(i)
+		if err != nil {
+			t.Fatalf("%s: Get(%d): %v", label, i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: Get(%d) mismatch", label, i)
+		}
+	}
+	return r
+}
+
+func TestRoundTripAlgorithmsAndBlockSizes(t *testing.T) {
+	docs := makeDocs(60, 1)
+	for _, alg := range []Algorithm{Zlib, LZ77} {
+		for _, bs := range []int{0, 256, 4096, 1 << 20} {
+			label := fmt.Sprintf("%s/%d", alg, bs)
+			arc := build(t, docs, Options{BlockSize: bs, Algorithm: alg})
+			verifyAll(t, arc, docs, label)
+		}
+	}
+}
+
+func TestSingleDocPerBlockExtents(t *testing.T) {
+	docs := makeDocs(10, 2)
+	arc := build(t, docs, Options{BlockSize: 0})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one document per block, every document has a distinct block.
+	seen := map[int64]bool{}
+	for i := range docs {
+		off, _, err := r.Extent(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("documents share block at offset %d", off)
+		}
+		seen[off] = true
+	}
+}
+
+func TestLargeBlocksShareExtents(t *testing.T) {
+	docs := makeDocs(50, 3)
+	arc := build(t, docs, Options{BlockSize: 1 << 20})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off0, n0, _ := r.Extent(0)
+	offLast, nLast, _ := r.Extent(len(docs) - 1)
+	if off0 != offLast || n0 != nLast {
+		t.Error("all docs should live in one big block")
+	}
+}
+
+func TestBiggerBlocksCompressBetter(t *testing.T) {
+	docs := makeDocs(300, 4)
+	small := build(t, docs, Options{BlockSize: 0})
+	big := build(t, docs, Options{BlockSize: 1 << 20})
+	if len(big) >= len(small) {
+		t.Errorf("1MB blocks (%d) not smaller than per-doc blocks (%d)", len(big), len(small))
+	}
+}
+
+func TestLZ77BeatsZlibOnGlobalRedundancy(t *testing.T) {
+	// Documents repeat with a long period; within a large block the
+	// large-window coder sees the repeats, zlib's 32 KB window does not.
+	rng := rand.New(rand.NewSource(5))
+	unit := make([]byte, 60<<10)
+	for i := range unit {
+		unit[i] = byte(32 + rng.Intn(64))
+	}
+	docs := make([][]byte, 8)
+	for i := range docs {
+		docs[i] = unit // identical 60 KB docs, 480 KB total
+	}
+	z := build(t, docs, Options{BlockSize: 1 << 20, Algorithm: Zlib})
+	l := build(t, docs, Options{BlockSize: 1 << 20, Algorithm: LZ77})
+	if len(l) >= len(z) {
+		t.Errorf("lzma-substitute (%d) not smaller than zlib (%d) on long-period redundancy", len(l), len(z))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	docs := makeDocs(20, 6)
+	arc := build(t, docs, Options{BlockSize: 1024, Algorithm: LZ77})
+	path := filepath.Join(t.TempDir(), "test.blk")
+	if err := os.WriteFile(path, arc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range docs {
+		got, err := r.Get(i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+	}
+}
+
+func TestEmptyDocuments(t *testing.T) {
+	docs := [][]byte{{}, []byte("x"), {}, []byte("y")}
+	arc := build(t, docs, Options{BlockSize: 2})
+	verifyAll(t, arc, docs, "empty docs")
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("late")); err == nil {
+		t.Error("Append after Close accepted")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	docs := makeDocs(10, 7)
+	arc := build(t, docs, Options{BlockSize: 512})
+
+	bad := append([]byte{}, arc...)
+	bad[0] = 'X'
+	if _, err := OpenBytes(bad); err == nil {
+		t.Error("bad header magic accepted")
+	}
+	bad = append([]byte{}, arc...)
+	bad[5] = 'q' // unknown algorithm
+	if _, err := OpenBytes(bad); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	for i := 0; i < len(arc); i += 13 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation to %d: %v", i, r)
+				}
+			}()
+			OpenBytes(arc[:i])
+		}()
+	}
+	// Corrupt a block body: Get must error (zlib/lz77 checksums), not
+	// return wrong bytes silently for the LZ77 algorithm.
+	arcL := build(t, docs, Options{BlockSize: 512, Algorithm: LZ77})
+	bad = append([]byte{}, arcL...)
+	bad[20] ^= 0xFF
+	if r, err := OpenBytes(bad); err == nil {
+		if _, err := r.Get(0); err == nil {
+			t.Error("corrupt LZ77 block decoded without error")
+		}
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	docs := makeDocs(3, 8)
+	arc := build(t, docs, Options{})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{-1, 3, 1000} {
+		if _, err := r.Get(id); err == nil {
+			t.Errorf("Get(%d) accepted", id)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package blockstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a thread-safe LRU over decompressed blocks, keyed by block
+// index. The paper's baselines run uncached (every Get pays a full block
+// decompression, matching the evaluation's dropped-cache methodology);
+// production deployments keep a cache, so the Reader offers one as an
+// opt-in via SetCacheBlocks.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *cacheEntry
+	entries  map[uint32]*list.Element
+}
+
+type cacheEntry struct {
+	block uint32
+	data  []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[uint32]*list.Element, capacity),
+	}
+}
+
+// get returns the cached decompressed block, or nil.
+func (c *blockCache) get(block uint32) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[block]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data
+}
+
+// put stores a decompressed block, evicting the least recently used entry
+// when over capacity.
+func (c *blockCache) put(block uint32, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[block]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[block] = c.order.PushFront(&cacheEntry{block: block, data: data})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).block)
+	}
+}
+
+// len reports the number of cached blocks.
+func (c *blockCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// SetCacheBlocks enables an LRU cache of up to n decompressed blocks
+// (n <= 0 disables caching, the default and the paper-faithful mode).
+// Cached documents are returned without re-reading or re-decompressing
+// their block. Safe to call before sharing the Reader across goroutines.
+func (r *Reader) SetCacheBlocks(n int) {
+	if n <= 0 {
+		r.cache = nil
+		return
+	}
+	r.cache = newBlockCache(n)
+}

@@ -1,0 +1,129 @@
+package blockstore
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newBlockCache(2)
+	c.put(1, []byte("one"))
+	c.put(2, []byte("two"))
+	if got := c.get(1); string(got) != "one" {
+		t.Fatalf("get(1) = %q", got)
+	}
+	// 1 is now most recent; inserting 3 must evict 2.
+	c.put(3, []byte("three"))
+	if c.get(2) != nil {
+		t.Error("block 2 should have been evicted")
+	}
+	if c.get(1) == nil || c.get(3) == nil {
+		t.Error("blocks 1 and 3 should survive")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+}
+
+func TestCachePutExistingUpdates(t *testing.T) {
+	c := newBlockCache(2)
+	c.put(1, []byte("a"))
+	c.put(1, []byte("b"))
+	if got := c.get(1); string(got) != "b" {
+		t.Errorf("get(1) = %q", got)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d", c.len())
+	}
+}
+
+func TestReaderWithCacheReturnsSameDocuments(t *testing.T) {
+	docs := makeDocs(60, 21)
+	arc := build(t, docs, Options{BlockSize: 4096})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCacheBlocks(4)
+	// Two passes: the second is served (mostly) from cache and must be
+	// byte-identical.
+	for pass := 0; pass < 2; pass++ {
+		for i, want := range docs {
+			got, err := r.Get(i)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("pass %d Get(%d): %v", pass, i, err)
+			}
+		}
+	}
+	if r.cache.len() == 0 {
+		t.Error("cache never populated")
+	}
+	r.SetCacheBlocks(0)
+	if r.cache != nil {
+		t.Error("SetCacheBlocks(0) did not disable the cache")
+	}
+}
+
+func TestCachedReadsAreFaster(t *testing.T) {
+	docs := makeDocs(200, 22)
+	arc := build(t, docs, Options{BlockSize: 1 << 20}) // one big block
+	timeGets := func(r *Reader) time.Duration {
+		start := time.Now()
+		var buf []byte
+		var err error
+		for rep := 0; rep < 20; rep++ {
+			for i := range docs {
+				if buf, err = r.GetAppend(buf[:0], i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	cold, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := timeGets(cold)
+
+	warm, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.SetCacheBlocks(2)
+	warmTime := timeGets(warm)
+
+	if warmTime > coldTime/2 {
+		t.Errorf("cached reads (%v) not much faster than uncached (%v)", warmTime, coldTime)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	docs := makeDocs(100, 23)
+	arc := build(t, docs, Options{BlockSize: 8192})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCacheBlocks(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf []byte
+			for i := 0; i < 300; i++ {
+				id := (g*31 + i*7) % len(docs)
+				var err error
+				buf, err = r.GetAppend(buf[:0], id)
+				if err != nil || !bytes.Equal(buf, docs[id]) {
+					t.Errorf("goroutine %d Get(%d) failed: %v", g, id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

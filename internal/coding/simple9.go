@@ -1,0 +1,96 @@
+package coding
+
+import "fmt"
+
+// Simple9 word-aligned coding (Anh & Moffat 2005), referenced by the
+// paper's future-work section as a candidate replacement for vbyte in
+// factor-length coding. Each 32-bit word carries a 4-bit selector and 28
+// data bits holding as many equal-width values as fit:
+//
+//	selector: 0    1    2    3    4    5    6    7    8
+//	count:    28   14   9    7    5    4    3    2    1
+//	bits:     1    2    3    4    5    7    9    14   28
+//
+// Values must be below 2^28; factor lengths always are (a single factor
+// cannot exceed the dictionary length, capped at 2 GiB, and in practice
+// lengths are tiny — which is exactly why word-aligned packing pays off).
+
+// Simple9MaxValue is the largest encodable value.
+const Simple9MaxValue = 1<<28 - 1
+
+var simple9Layouts = [9]struct {
+	count int
+	bits  uint
+}{
+	{28, 1}, {14, 2}, {9, 3}, {7, 4}, {5, 5}, {4, 7}, {3, 9}, {2, 14}, {1, 28},
+}
+
+// PutSimple9 appends the Simple9 encoding of vs to dst. It fails if any
+// value exceeds Simple9MaxValue.
+func PutSimple9(dst []byte, vs []uint32) ([]byte, error) {
+	for i := 0; i < len(vs); {
+		sel := -1
+		var take int
+		// Greedy: densest selector whose width fits the next values. The
+		// final word may pack fewer values than a denser selector's
+		// capacity; selector 8 (1 x 28 bits) always fits a legal value,
+		// so the scan cannot fail on in-range input.
+		for s, layout := range simple9Layouts {
+			take = layout.count
+			if take > len(vs)-i {
+				take = len(vs) - i
+			}
+			fits := true
+			for j := 0; j < take; j++ {
+				if vs[i+j] >= 1<<layout.bits {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				sel = s
+				break
+			}
+		}
+		if sel == -1 {
+			return dst, fmt.Errorf("coding: simple9 value exceeds %d", Simple9MaxValue)
+		}
+		layout := simple9Layouts[sel]
+		word := uint32(sel) << 28
+		for j := 0; j < take; j++ {
+			word |= vs[i+j] << (uint(j) * layout.bits)
+		}
+		dst = PutU32(dst, word)
+		i += take
+	}
+	return dst, nil
+}
+
+// Simple9 decodes exactly n values from src into out, returning the
+// extended slice and the number of bytes consumed.
+func Simple9(src []byte, n int, out []uint32) ([]uint32, int, error) {
+	pos := 0
+	remaining := n
+	for remaining > 0 {
+		word, err := U32(src[pos:])
+		if err != nil {
+			return out, pos, err
+		}
+		pos += 4
+		sel := word >> 28
+		if sel > 8 {
+			return out, pos, fmt.Errorf("coding: simple9 selector %d", sel)
+		}
+		layout := simple9Layouts[sel]
+		take := layout.count
+		if take > remaining {
+			take = remaining // final word may be partially filled
+		}
+		mask := uint32(1)<<layout.bits - 1
+		for j := 0; j < take; j++ {
+			out = append(out, word>>(uint(j)*layout.bits)&mask)
+		}
+		remaining -= take
+	}
+	return out, pos, nil
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Genome collections are RLZ's original domain: the technique the paper
+// builds on was introduced for storing thousands of individual genomes
+// against a reference (Kuruppu, Puglisi & Zobel, SPIRE 2010 — the paper's
+// citation [20]). Individuals differ from the reference by a sprinkling
+// of single-nucleotide variants and short indels, so a dictionary that
+// contains (samples of) one reference sequence makes every other
+// individual compress to almost nothing.
+//
+// GenerateGenomes builds such a collection: one synthetic reference and
+// numDocs "individuals", each a mutated copy. Mutation rates mirror the
+// human-scale numbers (~0.1 % SNVs, rarer short indels).
+
+// GenomeProfile shapes a synthetic genome collection.
+type GenomeProfile struct {
+	// Name labels the profile in reports.
+	Name string
+	// SNVRate is the per-base probability of a substitution.
+	SNVRate float64
+	// IndelRate is the per-base probability of starting a short indel.
+	IndelRate float64
+	// MaxIndel is the maximum indel length in bases.
+	MaxIndel int
+}
+
+// Genomes is the default genome profile: human-like variation rates.
+var Genomes = GenomeProfile{
+	Name:      "genomes",
+	SNVRate:   0.001,
+	IndelRate: 0.0001,
+	MaxIndel:  8,
+}
+
+// GenerateGenomes builds a collection of numDocs individual sequences of
+// approximately seqLen bases each, all derived from one random reference.
+// Document URLs are synthetic accession IDs. Deterministic in seed.
+func GenerateGenomes(p GenomeProfile, numDocs, seqLen int, seed int64) *Collection {
+	rng := rand.New(rand.NewSource(seed))
+	bases := []byte("ACGT")
+	ref := make([]byte, seqLen)
+	for i := range ref {
+		ref[i] = bases[rng.Intn(4)]
+	}
+	c := &Collection{Docs: make([]Document, numDocs)}
+	for d := 0; d < numDocs; d++ {
+		seq := make([]byte, 0, seqLen+seqLen/64)
+		for i := 0; i < len(ref); i++ {
+			r := rng.Float64()
+			switch {
+			case r < p.IndelRate/2 && p.MaxIndel > 0:
+				// Deletion: skip up to MaxIndel reference bases.
+				i += rng.Intn(p.MaxIndel)
+			case r < p.IndelRate && p.MaxIndel > 0:
+				// Insertion of random bases, then the reference base.
+				for k, n := 0, 1+rng.Intn(p.MaxIndel); k < n; k++ {
+					seq = append(seq, bases[rng.Intn(4)])
+				}
+				seq = append(seq, ref[i])
+			case r < p.IndelRate+p.SNVRate:
+				// Substitution with a different base.
+				b := bases[rng.Intn(4)]
+				for b == ref[i] {
+					b = bases[rng.Intn(4)]
+				}
+				seq = append(seq, b)
+			default:
+				seq = append(seq, ref[i])
+			}
+		}
+		c.Docs[d] = Document{
+			URL:  fmt.Sprintf("genome://sample/%s-%05d", p.Name, d),
+			Body: seq,
+		}
+	}
+	return c
+}

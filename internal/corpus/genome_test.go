@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateGenomesDeterministic(t *testing.T) {
+	a := GenerateGenomes(Genomes, 5, 10000, 3)
+	b := GenerateGenomes(Genomes, 5, 10000, 3)
+	if a.Len() != 5 || b.Len() != 5 {
+		t.Fatalf("lengths: %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Docs {
+		if !bytes.Equal(a.Docs[i].Body, b.Docs[i].Body) {
+			t.Fatalf("doc %d differs across runs", i)
+		}
+	}
+}
+
+func TestGenomesAreDNAOfRoughlyRightSize(t *testing.T) {
+	c := GenerateGenomes(Genomes, 8, 20000, 4)
+	for i, d := range c.Docs {
+		if len(d.Body) < 19000 || len(d.Body) > 21000 {
+			t.Errorf("doc %d length %d far from 20000", i, len(d.Body))
+		}
+		for _, b := range d.Body {
+			if b != 'A' && b != 'C' && b != 'G' && b != 'T' {
+				t.Fatalf("doc %d contains non-base %q", i, b)
+			}
+		}
+	}
+}
+
+func TestGenomesShareMostContent(t *testing.T) {
+	// Individuals differ by ~0.1% SNVs: any two documents must agree on
+	// the overwhelming majority of a long aligned prefix window.
+	c := GenerateGenomes(GenomeProfile{Name: "t", SNVRate: 0.001}, 2, 50000, 5)
+	a, b := c.Docs[0].Body, c.Docs[1].Body
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(n); frac < 0.99 {
+		t.Errorf("individuals agree on only %.3f of bases", frac)
+	}
+}
+
+func TestGenomesMutationsPresent(t *testing.T) {
+	c := GenerateGenomes(Genomes, 2, 100000, 6)
+	if bytes.Equal(c.Docs[0].Body, c.Docs[1].Body) {
+		t.Error("two individuals are identical; mutations never applied")
+	}
+}

@@ -1,0 +1,105 @@
+package disksim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSequentialReadsPayTransferOnly(t *testing.T) {
+	d := New(1 << 30)
+	d.Read(0, 1<<20) // position the head
+	seq := d.Read(1<<20, 1<<20)
+	wantTransfer := time.Duration(float64(1<<20) / float64(d.BytesPerSecond) * float64(time.Second))
+	if seq != wantTransfer {
+		t.Errorf("sequential read cost %v, want pure transfer %v", seq, wantTransfer)
+	}
+}
+
+func TestRandomReadPaysSeekAndRotation(t *testing.T) {
+	d := New(1 << 30)
+	d.Read(0, 4096)
+	far := d.Read(512<<20, 4096)
+	if far < d.HalfRotation+d.MinSeek {
+		t.Errorf("far read cost %v below latency floor", far)
+	}
+	if far > d.MaxSeek+d.HalfRotation+time.Millisecond {
+		t.Errorf("far read cost %v above ceiling", far)
+	}
+}
+
+func TestSeekGrowsWithDistance(t *testing.T) {
+	d := New(1 << 30)
+	d.Reset()
+	d.Read(0, 0)
+	near := d.Read(1<<20, 0)
+	d.Reset()
+	d.Read(0, 0)
+	far := d.Read(900<<20, 0)
+	if near >= far {
+		t.Errorf("near seek %v not cheaper than far seek %v", near, far)
+	}
+}
+
+func TestQueryLogPlateauShape(t *testing.T) {
+	// The paper's query-log rates sit near 100 docs/s for every
+	// compressed method. Simulate 1000 random 10 KB reads over a 1 GB
+	// file: the modeled rate must land in the disk-bound regime
+	// (tens to a few hundred docs/s), far below sequential rates.
+	d := New(1 << 30)
+	var total time.Duration
+	pos := int64(12345)
+	for i := 0; i < 1000; i++ {
+		total += d.Read(pos, 10<<10)
+		pos = (pos*2654435761 + 1) % (1 << 30)
+	}
+	rate := 1000 / total.Seconds()
+	if rate < 30 || rate > 500 {
+		t.Errorf("random-access rate %.0f docs/s outside the disk-bound regime", rate)
+	}
+
+	d.Reset()
+	total = 0
+	off := int64(0)
+	for i := 0; i < 1000; i++ {
+		total += d.Read(off, 10<<10)
+		off += 10 << 10
+	}
+	seqRate := 1000 / total.Seconds()
+	if seqRate < 20*rate {
+		t.Errorf("sequential rate %.0f not >> random rate %.0f", seqRate, rate)
+	}
+}
+
+func TestBiggerReadsCostMore(t *testing.T) {
+	d := New(1 << 30)
+	d.Reset()
+	small := d.Read(100<<20, 4<<10)
+	d.Reset()
+	big := d.Read(100<<20, 10<<20)
+	if big <= small {
+		t.Errorf("10 MB read (%v) not dearer than 4 KB read (%v)", big, small)
+	}
+}
+
+func TestSqrtAccuracy(t *testing.T) {
+	for _, x := range []float64{0, 1e-9, 0.25, 0.5, 1.0} {
+		got := sqrt(x)
+		want := math.Sqrt(x)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("sqrt(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNewClampsSpan(t *testing.T) {
+	d := New(0)
+	if d.Span() < 1 {
+		t.Error("span not clamped")
+	}
+	// A read beyond the span must still behave (frac clamps to 1).
+	cost := d.Read(1<<40, 10)
+	if cost > d.MaxSeek+d.HalfRotation+time.Millisecond {
+		t.Errorf("clamped seek cost %v too large", cost)
+	}
+}

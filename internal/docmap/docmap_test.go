@@ -1,0 +1,116 @@
+package docmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndExtent(t *testing.T) {
+	m := New()
+	sizes := []uint64{10, 0, 7, 1000}
+	for i, s := range sizes {
+		if id := m.Append(s); id != i {
+			t.Fatalf("Append #%d returned id %d", i, id)
+		}
+	}
+	if m.Len() != len(sizes) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	wantOff := uint64(0)
+	for i, s := range sizes {
+		off, n, err := m.Extent(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != wantOff || n != s {
+			t.Errorf("Extent(%d) = (%d, %d), want (%d, %d)", i, off, n, wantOff, s)
+		}
+		wantOff += s
+	}
+	if m.Total() != wantOff {
+		t.Errorf("Total = %d, want %d", m.Total(), wantOff)
+	}
+}
+
+func TestExtentOutOfRange(t *testing.T) {
+	m := New()
+	m.Append(5)
+	for _, id := range []int{-1, 1, 100} {
+		if _, _, err := m.Extent(id); err == nil {
+			t.Errorf("Extent(%d) accepted", id)
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Map
+	if m.Len() != 0 || m.Total() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	m.Append(3)
+	if off, n, err := m.Extent(0); err != nil || off != 0 || n != 3 {
+		t.Fatalf("Extent after zero-value Append = (%d,%d,%v)", off, n, err)
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		m := New()
+		for _, s := range sizes {
+			m.Append(uint64(s))
+		}
+		enc := m.Marshal(nil)
+		dec, used, err := Unmarshal(enc)
+		if err != nil || used != len(enc) || dec.Len() != m.Len() {
+			return false
+		}
+		for i := 0; i < m.Len(); i++ {
+			o1, n1, _ := m.Extent(i)
+			o2, n2, _ := dec.Extent(i)
+			if o1 != o2 || n1 != n2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		m.Append(uint64(rng.Intn(10000)))
+	}
+	enc := m.Marshal(nil)
+	for i := 0; i < len(enc)-1; i += 7 {
+		if _, _, err := Unmarshal(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d accepted", i)
+		}
+	}
+	if _, _, err := Unmarshal(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	// A huge declared count with no data must be rejected up front.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestMarshalTrailingDataIgnored(t *testing.T) {
+	m := New()
+	m.Append(4)
+	enc := m.Marshal(nil)
+	enc = append(enc, 0xAB, 0xCD)
+	dec, used, err := Unmarshal(enc)
+	if err != nil || dec.Len() != 1 {
+		t.Fatalf("decode with trailing data: %v", err)
+	}
+	if used != len(enc)-2 {
+		t.Errorf("used = %d, want %d", used, len(enc)-2)
+	}
+}

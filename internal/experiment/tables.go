@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rlz/internal/blockstore"
+	"rlz/internal/corpus"
+	"rlz/internal/lz77"
+	"rlz/internal/rlz"
+)
+
+// Table2 reproduces the paper's Table 2: average factor length and
+// percentage of unused dictionary bytes on the GOV2 stand-in, for every
+// dictionary size × sample size combination.
+func Table2(cfg Config) (*Table, error) {
+	return factorStatsTable("Table 2", cfg.gov(), cfg)
+}
+
+// Table3 reproduces Table 3: the same grid on the Wikipedia stand-in.
+func Table3(cfg Config) (*Table, error) {
+	return factorStatsTable("Table 3", cfg.wiki(), cfg)
+}
+
+func factorStatsTable(id string, c *corpus.Collection, cfg Config) (*Table, error) {
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Average factor length and unused dictionary bytes (synthetic corpus, %s)",
+			byteLabel(int(c.TotalSize()))),
+		Header: []string{"Size", "Samp.", "Avg.Fact.", "Unused (%)"},
+	}
+	collection := c.Bytes()
+	for _, dictSize := range cfg.DictSizes {
+		for _, sampleSize := range cfg.SampleSizes {
+			dictData := rlz.SampleEven(collection, dictSize, sampleSize)
+			_, _, stats, err := buildRLZ(c, dictData, true)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(dictLabel(dictSize), byteLabel(sampleSize),
+				fmt.Sprintf("%.2f", stats.AvgFactorLen()), pct(stats.UnusedPercent()))
+		}
+	}
+	return t, nil
+}
+
+// Figure3 reproduces the paper's Figure 3: the frequency histogram of
+// encoded length values for a fixed dictionary size and varied sample
+// periods, in log bins (the paper plots log-log; rows here are one series
+// per sample period).
+func Figure3(cfg Config) (*Table, error) {
+	c := cfg.gov()
+	collection := c.Bytes()
+	dictSize := cfg.DictSizes[len(cfg.DictSizes)-1] // the paper uses its smallest (0.5 GB)
+	t := &Table{
+		ID: "Figure 3",
+		Title: fmt.Sprintf("Frequency of encoded length values (%s dictionary, varied sample periods)",
+			dictLabel(dictSize)),
+		Header: []string{"Sample", "[1,10)", "[10,100)", "[100,1K)", "[1K,10K)", "[10K,100K)", ">=100K"},
+	}
+	for _, period := range cfg.SamplePeriods {
+		dictData := rlz.SampleEven(collection, dictSize, period)
+		_, _, stats, err := buildRLZ(c, dictData, true)
+		if err != nil {
+			return nil, err
+		}
+		_, counts := stats.BinnedLengthHistogram()
+		row := []string{byteLabel(period)}
+		for _, n := range counts {
+			row = append(row, fmt.Sprintf("%d", n))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table4 reproduces Table 4: RLZ compression and retrieval on the GOV2
+// stand-in in crawl order, across dictionary sizes and pair codecs.
+func Table4(cfg Config) (*Table, error) {
+	return rlzGridTable("Table 4", cfg.gov(), cfg)
+}
+
+// Table5 reproduces Table 5: the same grid with the collection URL-sorted.
+func Table5(cfg Config) (*Table, error) {
+	c := cfg.gov()
+	c.SortByURL()
+	return rlzGridTable("Table 5", c, cfg)
+}
+
+// Table8 reproduces Table 8: the RLZ grid on the Wikipedia stand-in.
+func Table8(cfg Config) (*Table, error) {
+	return rlzGridTable("Table 8", cfg.wiki(), cfg)
+}
+
+func rlzGridTable(id string, c *corpus.Collection, cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("RLZ retrieval, %s collection, docs/second", byteLabel(int(c.TotalSize()))),
+		Header: []string{"Size", "Pos-Len", "Enc. (%)", "Sequential", "Query Log"},
+	}
+	collection := c.Bytes()
+	raw := c.TotalSize()
+	for _, dictSize := range cfg.DictSizes {
+		dictData := rlz.SampleEven(collection, dictSize, cfg.SampleSize)
+		_, perDoc, _, err := buildRLZ(c, dictData, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, codec := range rlz.AllCodecs {
+			r, err := encodeRLZArchive(dictData, perDoc, codec)
+			if err != nil {
+				return nil, err
+			}
+			seq, qlog, err := retrieval(r, cfg, raw)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(dictLabel(dictSize), codec.String(), pct(encPct(r.Size(), raw)), rate(seq), rate(qlog))
+		}
+	}
+	return t, nil
+}
+
+// Table6 reproduces Table 6: the ascii and blocked zlib / large-window LZ
+// baselines on the GOV2 stand-in in crawl order.
+func Table6(cfg Config) (*Table, error) {
+	return baselineTable("Table 6", cfg.gov(), cfg)
+}
+
+// Table7 reproduces Table 7: the baselines on the URL-sorted collection.
+func Table7(cfg Config) (*Table, error) {
+	c := cfg.gov()
+	c.SortByURL()
+	return baselineTable("Table 7", c, cfg)
+}
+
+// Table9 reproduces Table 9: the baselines on the Wikipedia stand-in.
+func Table9(cfg Config) (*Table, error) {
+	return baselineTable("Table 9", cfg.wiki(), cfg)
+}
+
+func baselineTable(id string, c *corpus.Collection, cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Baseline retrieval, %s collection, docs/second", byteLabel(int(c.TotalSize()))),
+		Header: []string{"Alg.", "Block", "Enc. (%)", "Sequential", "Query Log"},
+	}
+	raw := c.TotalSize()
+
+	// The paper's "ascii" row: uncompressed with a document map.
+	rr, err := buildRaw(c)
+	if err != nil {
+		return nil, err
+	}
+	seq, qlog, err := retrieval(rr, cfg, raw)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("ascii", "-", "100.00", rate(seq), rate(qlog))
+
+	for _, alg := range []blockstore.Algorithm{blockstore.Zlib, blockstore.LZ77} {
+		for _, bs := range cfg.BlockSizes {
+			opt := blockstore.Options{BlockSize: bs, Algorithm: alg}
+			if alg == blockstore.LZ77 {
+				// Window larger than any block so the lzma stand-in sees
+				// the whole block; a moderate chain depth keeps harness
+				// compression time reasonable.
+				opt.LZ77 = lz77.Options{WindowSize: 4 << 20, MaxChain: 32}
+			}
+			br, err := buildBlocked(c, opt)
+			if err != nil {
+				return nil, err
+			}
+			seq, qlog, err := retrieval(br, cfg, raw)
+			if err != nil {
+				return nil, err
+			}
+			label := "1doc"
+			if bs > 0 {
+				label = byteLabel(bs)
+			}
+			t.AddRow(alg.String(), label, pct(encPct(br.Size(), raw)), rate(seq), rate(qlog))
+		}
+	}
+	return t, nil
+}
+
+// Table10 reproduces Table 10: compression of the Wikipedia stand-in with
+// ZZ pair codes against dictionaries sampled from shrinking prefixes of
+// the collection — the paper's dynamic-update robustness experiment.
+func Table10(cfg Config) (*Table, error) {
+	c := cfg.wiki()
+	collection := c.Bytes()
+	raw := c.TotalSize()
+	dictSize := cfg.DictSizes[len(cfg.DictSizes)/2] // the paper uses its middle size (1 GB)
+	t := &Table{
+		ID: "Table 10",
+		Title: fmt.Sprintf("ZZ encoding %% with a %s dictionary built from collection prefixes",
+			dictLabel(dictSize)),
+		Header: []string{"Prefix %", "Encoding %"},
+	}
+	for _, prefixPct := range []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10, 1} {
+		prefixLen := int(int64(len(collection)) * int64(prefixPct) / 100)
+		dictData := rlz.SamplePrefix(collection, prefixLen, dictSize, cfg.SampleSize)
+		_, perDoc, _, err := buildRLZ(c, dictData, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeRLZArchive(dictData, perDoc, rlz.CodecZZ)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", prefixPct), pct(encPct(r.Size(), raw)))
+	}
+	return t, nil
+}
+
+// Runner is a named experiment regenerator.
+type Runner struct {
+	ID  string
+	Run func(Config) (*Table, error)
+}
+
+// All lists every experiment in paper order.
+var All = []Runner{
+	{"Table 2", Table2},
+	{"Table 3", Table3},
+	{"Figure 3", Figure3},
+	{"Table 4", Table4},
+	{"Table 5", Table5},
+	{"Table 6", Table6},
+	{"Table 7", Table7},
+	{"Table 8", Table8},
+	{"Table 9", Table9},
+	{"Table 10", Table10},
+	{"Extensions", Extensions},
+	{"Genomes", GenomesTable},
+}
+
+// ByID returns the runner with the given ID ("Table 4", "Figure 3").
+func ByID(id string) (Runner, bool) {
+	for _, r := range All {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,236 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlz/internal/coding"
+)
+
+func roundTrip(t *testing.T, freqs []int, symbols []int) {
+	t.Helper()
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var w coding.BitWriter
+	for _, s := range symbols {
+		c.Encode(&w, s)
+	}
+	// The decoder must work from lengths alone (canonical property).
+	d, err := FromLengths(c.Lengths())
+	if err != nil {
+		t.Fatalf("FromLengths: %v", err)
+	}
+	r := coding.NewBitReader(w.Bytes())
+	for i, want := range symbols {
+		got, err := d.Decode(r)
+		if err != nil {
+			t.Fatalf("Decode symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	freqs := []int{1000, 500, 250, 125, 60, 30, 15, 8, 4, 2, 1}
+	rng := rand.New(rand.NewSource(5))
+	symbols := make([]int, 5000)
+	for i := range symbols {
+		symbols[i] = rng.Intn(len(freqs))
+	}
+	roundTrip(t, freqs, symbols)
+}
+
+func TestRoundTripSparseAlphabet(t *testing.T) {
+	freqs := make([]int, 300)
+	freqs[3] = 10
+	freqs[150] = 90
+	freqs[299] = 40
+	roundTrip(t, freqs, []int{3, 150, 299, 150, 150, 3, 299})
+}
+
+func TestSingleSymbol(t *testing.T) {
+	freqs := make([]int, 10)
+	freqs[7] = 42
+	roundTrip(t, freqs, []int{7, 7, 7, 7})
+	c, _ := Build(freqs)
+	if c.CodeLen(7) != 1 {
+		t.Errorf("single symbol code length = %d, want 1", c.CodeLen(7))
+	}
+}
+
+func TestTwoSymbols(t *testing.T) {
+	roundTrip(t, []int{5, 3}, []int{0, 1, 1, 0, 0, 0, 1})
+}
+
+func TestOptimality(t *testing.T) {
+	// For these frequencies the optimal expected length is known: the more
+	// frequent a symbol, the shorter (or equal) its code.
+	freqs := []int{100, 50, 20, 10, 5, 1}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(freqs); i++ {
+		if c.CodeLen(i) < c.CodeLen(i-1) {
+			t.Errorf("symbol %d (freq %d) has shorter code than symbol %d (freq %d)",
+				i, freqs[i], i-1, freqs[i-1])
+		}
+	}
+	// Total cost must match the textbook Huffman cost for this input.
+	// Tree: ((((1+5)+10)+20)+50)+100 -> lengths 1,2,3,4,5,5.
+	wantLens := []int{1, 2, 3, 4, 5, 5}
+	for i, want := range wantLens {
+		if c.CodeLen(i) != want {
+			t.Errorf("CodeLen(%d) = %d, want %d", i, c.CodeLen(i), want)
+		}
+	}
+}
+
+func TestLengthLimiting(t *testing.T) {
+	// Fibonacci frequencies force maximally skewed trees whose natural
+	// depth exceeds MaxCodeLen; the limiter must cap and stay decodable.
+	freqs := make([]int, 40)
+	a, b := 1, 1
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+	}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range freqs {
+		if c.CodeLen(s) > MaxCodeLen {
+			t.Fatalf("symbol %d has length %d > cap", s, c.CodeLen(s))
+		}
+		if c.CodeLen(s) == 0 {
+			t.Fatalf("symbol %d lost its code", s)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	symbols := make([]int, 2000)
+	for i := range symbols {
+		symbols[i] = rng.Intn(len(freqs))
+	}
+	roundTrip(t, freqs, symbols)
+}
+
+func TestRandomFrequenciesQuick(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		freqs := make([]int, len(raw))
+		nonzero := 0
+		for i, v := range raw {
+			freqs[i] = int(v)
+			if v > 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			return true
+		}
+		c, err := Build(freqs)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var w coding.BitWriter
+		var sent []int
+		for i := 0; i < 200; i++ {
+			s := rng.Intn(len(freqs))
+			if freqs[s] == 0 {
+				continue
+			}
+			c.Encode(&w, s)
+			sent = append(sent, s)
+		}
+		d, err := FromLengths(c.Lengths())
+		if err != nil {
+			return false
+		}
+		r := coding.NewBitReader(w.Bytes())
+		for _, want := range sent {
+			got, err := d.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromLengthsRejectsBadCodes(t *testing.T) {
+	// Over-subscribed: three 1-bit codes.
+	if _, err := FromLengths([]uint8{1, 1, 1}); err == nil {
+		t.Error("over-subscribed lengths accepted")
+	}
+	// Incomplete with multiple symbols: 2-bit + nothing else.
+	if _, err := FromLengths([]uint8{2, 2}); err == nil {
+		t.Error("incomplete code accepted")
+	}
+	// Over the cap.
+	if _, err := FromLengths([]uint8{MaxCodeLen + 1}); err == nil {
+		t.Error("overlong length accepted")
+	}
+	// Valid complete code.
+	if _, err := FromLengths([]uint8{1, 2, 2}); err != nil {
+		t.Errorf("valid code rejected: %v", err)
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	c, err := Build([]int{10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w coding.BitWriter
+	c.Encode(&w, 0)
+	c.Encode(&w, 3)
+	full := w.Bytes()
+	r := coding.NewBitReader(full)
+	if _, err := c.Decode(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(r); err != nil {
+		t.Fatal(err)
+	}
+	// All symbols consumed; the padding bits that remain are fewer than a
+	// codeword, so another decode must fail cleanly, not fabricate data.
+	if s, err := c.Decode(r); err == nil {
+		// With 4 equal symbols codes are 2 bits; one padded byte holds 8
+		// bits so there may be valid-looking padding. Decode from a
+		// truly empty reader instead.
+		_ = s
+		empty := coding.NewBitReader(nil)
+		if _, err := c.Decode(empty); err == nil {
+			t.Error("decode from empty stream succeeded")
+		}
+	}
+}
+
+func TestEncodeUnusedSymbolPanics(t *testing.T) {
+	c, err := Build([]int{5, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("encoding unused symbol did not panic")
+		}
+	}()
+	var w coding.BitWriter
+	c.Encode(&w, 1)
+}

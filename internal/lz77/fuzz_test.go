@@ -1,0 +1,52 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the decompressor: it must never
+// panic, and whenever it accepts an input it must be prepared to have
+// that input re-encode consistently.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, version, 0})
+	f.Add(Compress(nil, []byte("seed document with some repeated repeated text"), Options{}))
+	f.Add(Compress(nil, bytes.Repeat([]byte("ab"), 300), Options{Greedy: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress(nil, data)
+		if err != nil {
+			return
+		}
+		// Accepted input: the decoded text must round-trip through our
+		// own compressor.
+		again, err := Decompress(nil, Compress(nil, out, Options{}))
+		if err != nil || !bytes.Equal(again, out) {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+	})
+}
+
+// FuzzCompressRoundTrip checks the fundamental identity on arbitrary
+// inputs and window sizes.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), 16)
+	f.Add(bytes.Repeat([]byte{0}, 100), 4)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, window int) {
+		if window < 0 || window > 1<<22 {
+			window = 0
+		}
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		comp := Compress(nil, data, Options{WindowSize: window})
+		out, err := Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress of own output: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(out), len(data))
+		}
+	})
+}

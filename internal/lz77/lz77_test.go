@@ -1,0 +1,219 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte, opt Options) []byte {
+	t.Helper()
+	comp := Compress(nil, src, opt)
+	dec, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("Decompress(%d bytes from %d): %v", len(comp), len(src), err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(dec), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("ab"),
+		[]byte("abc"),
+		[]byte("aaaa"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte("abcd"), 1000),
+		[]byte(strings.Repeat("<html><body>boilerplate</body></html>", 200)),
+	}
+	for _, src := range cases {
+		roundTrip(t, src, Options{})
+		roundTrip(t, src, Options{Greedy: true})
+		roundTrip(t, src, Options{WindowSize: 16})
+	}
+}
+
+func TestRoundTripRandomQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src, Options{})
+		dec, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	roundTrip(t, src, Options{})
+}
+
+func TestCompressesRepetitiveText(t *testing.T) {
+	// Web-like data: heavy boilerplate with small unique payloads.
+	var b bytes.Buffer
+	for i := 0; i < 500; i++ {
+		b.WriteString("<html><head><title>Document ")
+		b.WriteByte(byte('A' + i%26))
+		b.WriteString("</title></head><body><div class=\"content\">payload</div></body></html>\n")
+	}
+	src := b.Bytes()
+	comp := roundTrip(t, src, Options{})
+	if len(comp) > len(src)/5 {
+		t.Errorf("repetitive text compressed to %d/%d bytes; expected at least 5x", len(comp), len(src))
+	}
+}
+
+func TestLargeWindowBeatsSmallWindow(t *testing.T) {
+	// Global repetition with a long period: a small window cannot reach
+	// back to the previous copy, a large one can. This is exactly the
+	// zlib-vs-lzma contrast the paper's baselines exhibit.
+	rng := rand.New(rand.NewSource(3))
+	unit := make([]byte, 100<<10) // 100 KB period, beyond a 32 KB window
+	for i := range unit {
+		unit[i] = byte(rng.Intn(64) + 32)
+	}
+	src := bytes.Repeat(unit, 4)
+	small := Compress(nil, src, Options{WindowSize: 32 << 10})
+	large := Compress(nil, src, Options{WindowSize: 1 << 20})
+	if len(large) >= len(small)/2 {
+		t.Errorf("large window %d, small window %d; expected >2x gap", len(large), len(small))
+	}
+	roundTrip(t, src, Options{WindowSize: 1 << 20})
+}
+
+func TestWindowBoundRespected(t *testing.T) {
+	// With window W, matches must not reference further back than W; we
+	// verify indirectly: decompression validates every distance, and the
+	// stream must still round-trip.
+	src := bytes.Repeat([]byte("0123456789abcdef"), 256)
+	for _, w := range []int{8, 64, 1024} {
+		roundTrip(t, src, Options{WindowSize: w})
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	// Runs force distance-1 matches whose copy overlaps its own output.
+	src := append([]byte("x"), bytes.Repeat([]byte("y"), 10000)...)
+	comp := roundTrip(t, src, Options{})
+	if len(comp) > 200 {
+		t.Errorf("run of 10000 compressed to %d bytes", len(comp))
+	}
+}
+
+func TestLazyNoWorseThanGreedyOnText(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 200; i++ {
+		b.WriteString("abcde abcdefgh abcdefgh-variant abcde fghij ")
+	}
+	src := b.Bytes()
+	lazy := Compress(nil, src, Options{})
+	greedy := Compress(nil, src, Options{Greedy: true})
+	if len(lazy) > len(greedy)+len(greedy)/20 {
+		t.Errorf("lazy %d notably worse than greedy %d", len(lazy), len(greedy))
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	src := []byte(strings.Repeat("hello compression world ", 100))
+	comp := Compress(nil, src, Options{})
+
+	// Bad magic.
+	bad := append([]byte{}, comp...)
+	bad[0] = 'X'
+	if _, err := Decompress(nil, bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, comp...)
+	bad[2] = 99
+	if _, err := Decompress(nil, bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncations at every prefix must error, never panic or succeed.
+	for i := 0; i < len(comp); i++ {
+		if _, err := Decompress(nil, comp[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+	// Flipping bits in the payload must be caught by structure checks or
+	// the checksum.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		bad = append([]byte{}, comp...)
+		pos := 3 + rng.Intn(len(bad)-3)
+		bad[pos] ^= 1 << uint(rng.Intn(8))
+		if dec, err := Decompress(nil, bad); err == nil && !bytes.Equal(dec, src) {
+			t.Fatalf("trial %d: corruption at byte %d silently produced wrong output", trial, pos)
+		}
+	}
+}
+
+func TestDecompressEmptyAndGarbage(t *testing.T) {
+	if _, err := Decompress(nil, nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Decompress(nil, []byte{1, 2}); err == nil {
+		t.Error("short garbage accepted")
+	}
+}
+
+func TestDecompressAppendsToDst(t *testing.T) {
+	src := []byte("payload")
+	comp := Compress(nil, src, Options{})
+	out, err := Decompress([]byte("prefix:"), comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "prefix:payload" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCompressAppendsToDst(t *testing.T) {
+	src := []byte("payload")
+	out := Compress([]byte{0xEE}, src, Options{})
+	if out[0] != 0xEE || out[1] != magic0 {
+		t.Errorf("prefix not preserved: % x", out[:4])
+	}
+	dec, err := Decompress(nil, out[1:])
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Errorf("round trip through prefixed buffer failed: %v", err)
+	}
+}
+
+func TestMaxChainOption(t *testing.T) {
+	src := bytes.Repeat([]byte("abcabdabeabf"), 500)
+	weak := Compress(nil, src, Options{MaxChain: 1})
+	strong := Compress(nil, src, Options{MaxChain: 256})
+	if len(strong) > len(weak) {
+		t.Errorf("deeper chains produced worse ratio: %d > %d", len(strong), len(weak))
+	}
+	roundTrip(t, src, Options{MaxChain: 1})
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 2, 3, 4, 7, 8, 255, 256, 65535, 1 << 20, 1<<24 - 1} {
+		s := slot(v)
+		if v == 0 && s != 0 {
+			t.Fatalf("slot(0) = %d", s)
+		}
+		if v > 0 {
+			lo := uint32(1) << (s - 1)
+			if v < lo || (s < 32 && v >= lo<<1) {
+				t.Fatalf("slot(%d) = %d covers [%d, %d)", v, s, lo, lo<<1)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package rawstore implements the paper's "ascii" baseline: documents are
+// stored uncompressed, back to back, with a document map giving each one's
+// extent. Random access reads exactly the requested document's bytes; the
+// cost is storage at 100 % of the collection size.
+//
+// Layout:
+//
+//	header  magic "RAWS", version
+//	payload documents, concatenated
+//	docmap  delta-vbyte document map
+//	footer  u64 docmap offset, magic "RAWE"
+package rawstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"rlz/internal/coding"
+	"rlz/internal/docmap"
+)
+
+const (
+	version     = 1
+	headerMagic = "RAWS"
+	footerMagic = "RAWE"
+	headerSize  = 5
+	footerSize  = 8 + 4
+)
+
+// ErrCorruptArchive is returned when a raw archive fails structural checks.
+var ErrCorruptArchive = errors.New("rawstore: corrupt archive")
+
+// Writer builds a raw archive.
+type Writer struct {
+	w      io.Writer
+	n      int64
+	m      *docmap.Map
+	closed bool
+}
+
+// NewWriter starts a raw archive on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	rw := &Writer{w: w, m: docmap.New()}
+	k, err := w.Write(append([]byte(headerMagic), version))
+	rw.n += int64(k)
+	if err != nil {
+		return nil, fmt.Errorf("rawstore: writing header: %w", err)
+	}
+	return rw, nil
+}
+
+// Append stores a document verbatim, returning its ID.
+func (w *Writer) Append(doc []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("rawstore: append to closed writer")
+	}
+	k, err := w.w.Write(doc)
+	w.n += int64(k)
+	if err != nil {
+		return 0, fmt.Errorf("rawstore: writing document: %w", err)
+	}
+	return w.m.Append(uint64(len(doc))), nil
+}
+
+// NumDocs returns the number of documents appended so far.
+func (w *Writer) NumDocs() int { return w.m.Len() }
+
+// Close writes the document map and footer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	mapOff := w.n
+	var tail []byte
+	tail = w.m.Marshal(tail)
+	tail = coding.PutU64(tail, uint64(mapOff))
+	tail = append(tail, footerMagic...)
+	k, err := w.w.Write(tail)
+	w.n += int64(k)
+	if err != nil {
+		return fmt.Errorf("rawstore: writing footer: %w", err)
+	}
+	return nil
+}
+
+// Reader provides random access to a raw archive. Safe for concurrent use.
+type Reader struct {
+	r      io.ReaderAt
+	m      *docmap.Map
+	size   int64
+	closer io.Closer
+}
+
+// Open reads a raw archive's document map from r covering size bytes.
+func Open(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: too small (%d bytes)", ErrCorruptArchive, size)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("rawstore: reading header: %w", err)
+	}
+	if string(hdr[:4]) != headerMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrCorruptArchive)
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptArchive, hdr[4])
+	}
+	foot := make([]byte, footerSize)
+	if _, err := r.ReadAt(foot, size-footerSize); err != nil {
+		return nil, fmt.Errorf("rawstore: reading footer: %w", err)
+	}
+	if string(foot[8:]) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorruptArchive)
+	}
+	mapOff64, _ := coding.U64(foot)
+	mapOff := int64(mapOff64)
+	if mapOff < headerSize || mapOff > size-footerSize {
+		return nil, fmt.Errorf("%w: docmap offset %d out of range", ErrCorruptArchive, mapOff)
+	}
+	mapBytes := make([]byte, size-footerSize-mapOff)
+	if _, err := r.ReadAt(mapBytes, mapOff); err != nil {
+		return nil, fmt.Errorf("rawstore: reading document map: %w", err)
+	}
+	m, _, err := docmap.Unmarshal(mapBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptArchive, err)
+	}
+	if int64(m.Total()) != mapOff-headerSize {
+		return nil, fmt.Errorf("%w: docmap covers %d bytes, payload is %d", ErrCorruptArchive, m.Total(), mapOff-headerSize)
+	}
+	return &Reader{r: r, m: m, size: size}, nil
+}
+
+// OpenBytes opens an archive held in memory.
+func OpenBytes(data []byte) (*Reader, error) {
+	return Open(bytes.NewReader(data), int64(len(data)))
+}
+
+// OpenFile opens an archive file. Close the Reader to release the file.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd, err := Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd.closer = f
+	return rd, nil
+}
+
+// NumDocs returns the number of documents in the archive.
+func (r *Reader) NumDocs() int { return r.m.Len() }
+
+// Size returns the total archive size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// Extent returns the absolute extent of document id's bytes.
+func (r *Reader) Extent(id int) (off, n int64, err error) {
+	o, l, err := r.m.Extent(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return headerSize + int64(o), int64(l), nil
+}
+
+// GetAppend retrieves document id, appending its text to dst.
+func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
+	off, n, err := r.Extent(id)
+	if err != nil {
+		return dst, err
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	if _, err := r.r.ReadAt(dst[base:], off); err != nil {
+		return dst[:base], fmt.Errorf("rawstore: reading document %d: %w", id, err)
+	}
+	return dst, nil
+}
+
+// Get retrieves document id.
+func (r *Reader) Get(id int) ([]byte, error) {
+	return r.GetAppend(nil, id)
+}
+
+// Close releases the underlying file if the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

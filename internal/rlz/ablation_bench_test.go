@@ -1,0 +1,156 @@
+package rlz
+
+import (
+	"fmt"
+	"testing"
+
+	"rlz/internal/corpus"
+)
+
+// Ablation benches for the design choices DESIGN.md calls out. These use
+// the same synthetic collection as the experiment harness so numbers are
+// comparable across runs.
+
+func benchCollection(b *testing.B) *corpus.Collection {
+	b.Helper()
+	return corpus.Generate(corpus.Gov, 2<<20, 5)
+}
+
+// BenchmarkAblationRefine compares the paper's factorizer (binary-search
+// Refine with the single-suffix fast path) against a variant that keeps
+// binary-searching even when one candidate remains. The fast path is the
+// csp2-style optimization §3.2 alludes to.
+func BenchmarkAblationRefine(b *testing.B) {
+	c := benchCollection(b)
+	dictData := SampleEven(c.Bytes(), 64<<10, 1<<10)
+	d, err := NewDictionary(dictData)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := c.Docs[0].Body
+	b.Run("fast-path", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		var fs []Factor
+		for i := 0; i < b.N; i++ {
+			fs = d.Factorize(doc, fs[:0])
+		}
+	})
+	b.Run("binary-search-only", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		var fs []Factor
+		for i := 0; i < b.N; i++ {
+			fs = d.factorizeNoFastPath(doc, fs[:0])
+		}
+	})
+}
+
+// BenchmarkAblationSampling compares dictionary construction policies at
+// equal dictionary budget: the paper's evenly spaced samples versus a
+// head-of-collection prefix versus random samples. The reported metric is
+// the resulting encoded size (smaller is better); even sampling should
+// win or tie because it alone sees the whole collection.
+func BenchmarkAblationSampling(b *testing.B) {
+	c := benchCollection(b)
+	collection := c.Bytes()
+	budget := len(collection) / 100
+	policies := []struct {
+		name string
+		data []byte
+	}{
+		{"even", SampleEven(collection, budget, 1<<10)},
+		{"head", SampleHead(collection, budget)},
+		{"random", SampleRandom(collection, budget, 1<<10, 13)},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			var encoded int64
+			for i := 0; i < b.N; i++ {
+				d, err := NewDictionary(p.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encoded = 0
+				var fs []Factor
+				for _, doc := range c.Docs {
+					fs = d.Factorize(doc.Body, fs[:0])
+					encoded += int64(CodecZV.EncodedSize(fs))
+				}
+			}
+			b.ReportMetric(100*float64(encoded)/float64(len(collection)), "enc-pct")
+		})
+	}
+}
+
+// BenchmarkFactorize measures raw factorization throughput across
+// dictionary sizes (the n log m term of §3.2).
+func BenchmarkFactorize(b *testing.B) {
+	c := benchCollection(b)
+	collection := c.Bytes()
+	doc := c.Docs[1].Body
+	for _, dictSize := range []int{16 << 10, 64 << 10, 256 << 10} {
+		d, err := NewDictionary(SampleEven(collection, dictSize, 1<<10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("dict-%dKB", dictSize>>10), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			var fs []Factor
+			for i := 0; i < b.N; i++ {
+				fs = d.Factorize(doc, fs[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkDecode measures factor decoding throughput — the operation the
+// paper optimizes for, since documents are decoded far more often than
+// encoded.
+func BenchmarkDecode(b *testing.B) {
+	c := benchCollection(b)
+	d, err := NewDictionary(SampleEven(c.Bytes(), 64<<10, 1<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := c.Docs[2].Body
+	fs := d.Factorize(doc, nil)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out, err = d.Decode(out[:0], fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecs measures per-document encode and decode cost of the four
+// paper codecs on a realistic factorization.
+func BenchmarkCodecs(b *testing.B) {
+	c := benchCollection(b)
+	d, err := NewDictionary(SampleEven(c.Bytes(), 64<<10, 1<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := d.Factorize(c.Docs[3].Body, nil)
+	for _, codec := range AllCodecs {
+		enc := codec.Encode(nil, fs)
+		b.Run(codec.String()+"/encode", func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = codec.Encode(buf[:0], fs)
+			}
+			b.ReportMetric(float64(len(enc)), "bytes/doc")
+		})
+		b.Run(codec.String()+"/decode", func(b *testing.B) {
+			var out []Factor
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, _, err = codec.Decode(out[:0], enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

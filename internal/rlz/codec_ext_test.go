@@ -1,0 +1,89 @@
+package rlz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtensionCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, codec := range ExtensionCodecs {
+		for _, n := range []int{0, 1, 3, 100, 1000} {
+			fs := randomFactors(rng, n, 1<<22)
+			enc := codec.Encode(nil, fs)
+			dec, used, err := codec.Decode(nil, enc)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", codec, n, err)
+			}
+			if used != len(enc) || len(dec) != n {
+				t.Fatalf("%s n=%d: used %d/%d, decoded %d", codec, n, used, len(enc), len(dec))
+			}
+			for i := range fs {
+				if dec[i] != fs[i] {
+					t.Fatalf("%s factor %d: %v != %v", codec, i, dec[i], fs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExtensionCodecNames(t *testing.T) {
+	for _, c := range ExtensionCodecs {
+		parsed, err := CodecByName(c.String())
+		if err != nil || parsed != c {
+			t.Errorf("CodecByName(%q) = %v, %v", c.String(), parsed, err)
+		}
+	}
+	if _, err := CodecByName("SS"); err == nil {
+		t.Error("S position coding should be rejected")
+	}
+}
+
+func TestSimple9FallbackForHugeLengths(t *testing.T) {
+	// A length beyond 2^28 cannot be Simple9-coded; the codec must fall
+	// back to vbyte transparently.
+	fs := []Factor{{Pos: 0, Len: 1 << 29}, {Pos: 5, Len: 3}}
+	enc := CodecUS.Encode(nil, fs)
+	dec, _, err := CodecUS.Decode(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 2 || dec[0] != fs[0] || dec[1] != fs[1] {
+		t.Fatalf("decoded %v", dec)
+	}
+}
+
+func TestSimple9CodecOnRealFactorization(t *testing.T) {
+	d := mustDict(t, []byte("the quick brown fox jumps over the lazy dog and then "+
+		"the quick brown fox naps beside the lazy dog again"))
+	doc := []byte("the lazy dog jumps over the quick brown fox! " +
+		"the quick brown fox naps. zzz")
+	fs := d.Factorize(doc, nil)
+	for _, codec := range ExtensionCodecs {
+		enc := codec.Encode(nil, fs)
+		dec, _, err := codec.Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		out, err := d.Decode(nil, dec)
+		if err != nil || string(out) != string(doc) {
+			t.Fatalf("%s: round trip through archive codec failed: %v", codec, err)
+		}
+	}
+}
+
+func TestSimple9LengthsCompact(t *testing.T) {
+	// With small factor lengths (the common case per Figure 3), US should
+	// not be larger than UV on the length stream by more than the 1-byte
+	// mode flag per document.
+	rng := rand.New(rand.NewSource(5))
+	fs := make([]Factor, 500)
+	for i := range fs {
+		fs[i] = Factor{Pos: rng.Uint32() >> 8, Len: uint32(2 + rng.Intn(28))}
+	}
+	us := CodecUS.EncodedSize(fs)
+	uv := CodecUV.EncodedSize(fs)
+	if us > uv {
+		t.Errorf("US (%d) larger than UV (%d) on small lengths", us, uv)
+	}
+}

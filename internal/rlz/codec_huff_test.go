@@ -1,0 +1,108 @@
+package rlz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHuffmanLenCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, codec := range []PairCodec{CodecUH, CodecZH} {
+		for _, n := range []int{0, 1, 2, 50, 2000} {
+			fs := randomFactors(rng, n, 1<<20)
+			enc := codec.Encode(nil, fs)
+			dec, used, err := codec.Decode(nil, enc)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", codec, n, err)
+			}
+			if used != len(enc) || len(dec) != n {
+				t.Fatalf("%s n=%d: used %d/%d, decoded %d", codec, n, used, len(enc), len(dec))
+			}
+			for i := range fs {
+				if dec[i] != fs[i] {
+					t.Fatalf("%s factor %d: %v != %v", codec, i, dec[i], fs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHuffmanLenSingleSlot(t *testing.T) {
+	// All lengths in one slot exercises the degenerate one-symbol code.
+	fs := make([]Factor, 100)
+	for i := range fs {
+		fs[i] = Factor{Pos: uint32(i), Len: 1} // slot 1 for everyone
+	}
+	enc := CodecUH.Encode(nil, fs)
+	dec, _, err := CodecUH.Decode(nil, enc)
+	if err != nil || len(dec) != len(fs) {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range fs {
+		if dec[i] != fs[i] {
+			t.Fatalf("factor %d mismatch", i)
+		}
+	}
+}
+
+func TestHuffmanLenExtremes(t *testing.T) {
+	fs := []Factor{
+		{Pos: 'a', Len: 0},           // literal, slot 0
+		{Pos: 0, Len: 1},             // slot 1, no extra bits
+		{Pos: 0, Len: 3},             // slot 2
+		{Pos: 0, Len: 1<<31 - 1},     // top slot
+		{Pos: 0, Len: 1 << 30},       // slot 31 lower bound
+		{Pos: 9, Len: 1234567},       // mid-range
+		{Pos: uint32('z'), Len: 0},   // another literal
+		{Pos: 0, Len: (1 << 28) + 5}, // beyond simple9's range: H handles it natively
+	}
+	enc := CodecUH.Encode(nil, fs)
+	dec, _, err := CodecUH.Decode(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if dec[i] != fs[i] {
+			t.Fatalf("factor %d: %v != %v", i, dec[i], fs[i])
+		}
+	}
+}
+
+func TestHuffmanLenDenserThanVByteWhenSkewed(t *testing.T) {
+	// Heavily skewed length distribution: Huffman assigns the dominant
+	// slot ~1 bit, beating vbyte's byte floor.
+	rng := rand.New(rand.NewSource(62))
+	fs := make([]Factor, 3000)
+	for i := range fs {
+		l := uint32(30 + rng.Intn(20)) // all slot 5-6
+		fs[i] = Factor{Pos: rng.Uint32() >> 10, Len: l}
+	}
+	uh := CodecUH.EncodedSize(fs)
+	uv := CodecUV.EncodedSize(fs)
+	if uh >= uv {
+		t.Errorf("UH (%d) not smaller than UV (%d) on skewed lengths", uh, uv)
+	}
+}
+
+func TestHuffmanLenCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	fs := randomFactors(rng, 100, 1<<16)
+	enc := CodecUH.Encode(nil, fs)
+	for i := 0; i < len(enc); i += 2 {
+		if _, _, err := CodecUH.Decode(nil, enc[:i]); err == nil {
+			t.Fatalf("truncation to %d accepted", i)
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		bad := append([]byte{}, enc...)
+		bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupt input: %v", r)
+				}
+			}()
+			CodecUH.Decode(nil, bad)
+		}()
+	}
+}

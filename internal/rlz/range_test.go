@@ -1,0 +1,181 @@
+package rlz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRangeMatchesFullDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	dictData := make([]byte, 600)
+	for i := range dictData {
+		dictData[i] = byte('a' + rng.Intn(4))
+	}
+	d := mustDict(t, dictData)
+	doc := make([]byte, 900)
+	for i := range doc {
+		doc[i] = byte('a' + rng.Intn(5)) // includes literals
+	}
+	factors := d.Factorize(doc, nil)
+	full, err := d.Decode(nil, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, doc) {
+		t.Fatal("full decode mismatch")
+	}
+	for trial := 0; trial < 300; trial++ {
+		from := rng.Intn(len(doc) + 10)
+		to := from + rng.Intn(len(doc))
+		got, err := d.DecodeRange(nil, factors, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := from, to
+		if hi > len(doc) {
+			hi = len(doc)
+		}
+		if lo > len(doc) {
+			lo = len(doc)
+		}
+		if !bytes.Equal(got, doc[lo:hi]) {
+			t.Fatalf("range [%d,%d): got %d bytes, want %d", from, to, len(got), hi-lo)
+		}
+	}
+}
+
+func TestDecodeRangeEdges(t *testing.T) {
+	d := mustDict(t, []byte("hello world"))
+	factors := d.Factorize([]byte("hello world hello"), nil)
+
+	if got, err := d.DecodeRange(nil, factors, 0, 0); err != nil || len(got) != 0 {
+		t.Errorf("empty range: %q, %v", got, err)
+	}
+	if got, err := d.DecodeRange(nil, factors, 5, 3); err != nil || len(got) != 0 {
+		t.Errorf("reversed range: %q, %v", got, err)
+	}
+	if got, err := d.DecodeRange(nil, factors, -5, 5); err != nil || string(got) != "hello" {
+		t.Errorf("negative from: %q, %v", got, err)
+	}
+	if got, err := d.DecodeRange(nil, factors, 12, 1000); err != nil || string(got) != "hello" {
+		t.Errorf("over-long to: %q, %v", got, err)
+	}
+}
+
+func TestDecodeRangeRejectsBadFactors(t *testing.T) {
+	d := mustDict(t, []byte("abc"))
+	if _, err := d.DecodeRange(nil, []Factor{{Pos: 9, Len: 5}}, 0, 10); err == nil {
+		t.Error("bad factor accepted")
+	}
+	if _, err := d.DecodeRange(nil, []Factor{{Pos: 999, Len: 0}}, 0, 10); err == nil {
+		t.Error("bad literal accepted")
+	}
+}
+
+func TestDecodeRangeQuick(t *testing.T) {
+	d := mustDict(t, []byte("the quick brown fox jumps over the lazy dog"))
+	f := func(doc []byte, from, to uint16) bool {
+		if len(doc) > 500 {
+			doc = doc[:500]
+		}
+		factors := d.Factorize(doc, nil)
+		got, err := d.DecodeRange(nil, factors, int(from), int(to))
+		if err != nil {
+			return false
+		}
+		lo, hi := int(from), int(to)
+		if hi > len(doc) {
+			hi = len(doc)
+		}
+		if lo >= hi {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, doc[lo:hi])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressorRoundTrip(t *testing.T) {
+	dictData := []byte("shared boilerplate for every document in the collection")
+	c, err := NewCompressor(dictData, CodecZV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]byte{
+		[]byte("shared boilerplate plus unique tail one"),
+		[]byte("another document with shared boilerplate inside"),
+		{},
+	}
+	// Concatenated records must stream-decode.
+	var stream []byte
+	for _, doc := range docs {
+		stream = c.Compress(stream, doc)
+	}
+	pos := 0
+	for i, want := range docs {
+		got, used, err := c.Decompress(nil, stream[pos:])
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("doc %d mismatch", i)
+		}
+		pos += used
+	}
+	if pos != len(stream) {
+		t.Errorf("stream has %d trailing bytes", len(stream)-pos)
+	}
+}
+
+func TestCompressorRange(t *testing.T) {
+	c, err := NewCompressor([]byte("abcdefghij klmnop qrstuv"), CodecUV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("abcdefghij qrstuv abcdef!")
+	rec := c.Compress(nil, doc)
+	got, _, err := c.DecompressRange(nil, rec, 11, 17)
+	if err != nil || string(got) != "qrstuv" {
+		t.Fatalf("range = %q, %v", got, err)
+	}
+}
+
+func TestCompressorSharedDictionary(t *testing.T) {
+	d := mustDict(t, []byte("the dictionary text"))
+	a := NewCompressorFromDictionary(d, CodecUV)
+	b := NewCompressorFromDictionary(d, CodecZZ)
+	if a.Dictionary() != b.Dictionary() {
+		t.Error("dictionary not shared")
+	}
+	doc := []byte("the dictionary text re-encoded")
+	ra := a.Compress(nil, doc)
+	rb := b.Compress(nil, doc)
+	da, _, err := a.Decompress(nil, ra)
+	if err != nil || !bytes.Equal(da, doc) {
+		t.Fatalf("UV round trip: %v", err)
+	}
+	db, _, err := b.Decompress(nil, rb)
+	if err != nil || !bytes.Equal(db, doc) {
+		t.Fatalf("ZZ round trip: %v", err)
+	}
+	if a.Codec() == b.Codec() {
+		t.Error("codecs should differ")
+	}
+}
+
+func TestCompressorErrors(t *testing.T) {
+	if _, err := NewCompressor(nil, CodecUV); err == nil {
+		t.Error("empty dictionary accepted")
+	}
+	c, err := NewCompressor([]byte("dict"), CodecUV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decompress(nil, []byte{0xFF}); err == nil {
+		t.Error("garbage record accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package rlz
+
+// Iterative dictionary refinement — the future-work direction sketched in
+// §6 of the paper ("make multiple passes... during each pass we find and
+// eliminate redundancy, freeing space to be filled in subsequent passes",
+// investigated further in Hoobin et al., SIGIR 2011).
+//
+// The dictionary is treated as a sequence of fixed-size sample slots.
+// Each pass factorizes a probe subset of the collection against the
+// current dictionary, measures how much of each slot factors actually
+// reference, evicts slots whose utilization falls below a threshold, and
+// refills the freed space with new samples drawn from collection regions
+// chosen pseudo-randomly. Refinement stops early when a pass evicts
+// nothing.
+
+// RefineOptions tunes SampleIterative. The zero value of any field
+// selects the default documented on it.
+type RefineOptions struct {
+	// Passes is the maximum number of refinement passes. 0 means 3.
+	Passes int
+	// MinSlotUtilization is the fraction of a slot's bytes that must be
+	// referenced for the slot to survive a pass. 0 means 0.10.
+	MinSlotUtilization float64
+	// ProbeFraction is how much of the collection is factorized to
+	// measure utilization each pass. 0 means 0.25. Probing costs
+	// factorization time proportional to this fraction.
+	ProbeFraction float64
+	// Seed drives replacement sample placement. The zero seed is valid
+	// and deterministic.
+	Seed int64
+}
+
+func (o RefineOptions) passes() int {
+	if o.Passes <= 0 {
+		return 3
+	}
+	return o.Passes
+}
+
+func (o RefineOptions) minUtil() float64 {
+	if o.MinSlotUtilization <= 0 {
+		return 0.10
+	}
+	return o.MinSlotUtilization
+}
+
+func (o RefineOptions) probeFrac() float64 {
+	if o.ProbeFraction <= 0 || o.ProbeFraction > 1 {
+		return 0.25
+	}
+	return o.ProbeFraction
+}
+
+// SampleIterative builds a dictionary of dictSize bytes from sampleSize
+// slots, starting from the paper's even sampling and then refining per
+// RefineOptions. It returns the refined dictionary text.
+func SampleIterative(collection []byte, dictSize, sampleSize int, opt RefineOptions) []byte {
+	if sampleSize <= 0 {
+		sampleSize = 1024
+	}
+	dictData := SampleEven(collection, dictSize, sampleSize)
+	if len(dictData) >= len(collection) || len(dictData) == 0 {
+		return dictData // whole collection already in the dictionary
+	}
+	numSlots := len(dictData) / sampleSize
+	if numSlots == 0 {
+		return dictData
+	}
+
+	state := uint64(opt.Seed)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545F4914F6CDD1D
+	}
+
+	probe := probeChunks(collection, opt.probeFrac())
+	for pass := 0; pass < opt.passes(); pass++ {
+		dict, err := NewDictionary(dictData)
+		if err != nil {
+			return dictData
+		}
+		stats := NewStats(dict)
+		var factors []Factor
+		for _, chunk := range probe {
+			factors = dict.Factorize(chunk, factors[:0])
+			stats.Observe(factors)
+		}
+		evicted := 0
+		for slot := 0; slot < numSlots; slot++ {
+			lo := slot * sampleSize
+			hi := lo + sampleSize
+			if hi > len(dictData) {
+				hi = len(dictData)
+			}
+			used := 0
+			for i := lo; i < hi; i++ {
+				if stats.covered[i] {
+					used++
+				}
+			}
+			if float64(used)/float64(hi-lo) >= opt.minUtil() {
+				continue
+			}
+			// Evict: overwrite the slot with a fresh sample from a
+			// pseudo-random collection position.
+			start := int(next() % uint64(len(collection)-(hi-lo)+1))
+			copy(dictData[lo:hi], collection[start:start+(hi-lo)])
+			evicted++
+		}
+		if evicted == 0 {
+			break
+		}
+	}
+	return dictData
+}
+
+// probeChunks carves an evenly spread probe subset out of the collection:
+// 64 KB chunks covering approximately frac of the bytes.
+func probeChunks(collection []byte, frac float64) [][]byte {
+	const chunk = 64 << 10
+	n := len(collection)
+	want := int(float64(n) * frac)
+	if want <= 0 {
+		return nil
+	}
+	numChunks := want / chunk
+	if numChunks == 0 {
+		numChunks = 1
+	}
+	out := make([][]byte, 0, numChunks)
+	for i := 0; i < numChunks; i++ {
+		start := int(int64(i) * int64(n) / int64(numChunks))
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		out = append(out, collection[start:end])
+	}
+	return out
+}

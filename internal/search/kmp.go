@@ -1,0 +1,85 @@
+// Package search provides streaming substring search (Knuth-Morris-Pratt)
+// used to grep compressed archives: documents are decoded one at a time
+// and scanned without any per-document index.
+package search
+
+// Matcher is a compiled KMP pattern. It is immutable after compilation
+// and safe for concurrent use.
+type Matcher struct {
+	pattern []byte
+	fail    []int
+}
+
+// Compile builds the failure function for pattern. An empty pattern is
+// legal and matches at every position.
+func Compile(pattern []byte) *Matcher {
+	m := &Matcher{pattern: append([]byte(nil), pattern...), fail: make([]int, len(pattern))}
+	k := 0
+	for i := 1; i < len(pattern); i++ {
+		for k > 0 && pattern[k] != pattern[i] {
+			k = m.fail[k-1]
+		}
+		if pattern[k] == pattern[i] {
+			k++
+		}
+		m.fail[i] = k
+	}
+	return m
+}
+
+// Pattern returns the compiled pattern bytes.
+func (m *Matcher) Pattern() []byte { return m.pattern }
+
+// FindAll returns the start offsets of every (possibly overlapping)
+// occurrence of the pattern in text.
+func (m *Matcher) FindAll(text []byte) []int {
+	var out []int
+	m.Scan(text, func(off int) bool {
+		out = append(out, off)
+		return true
+	})
+	return out
+}
+
+// Scan streams occurrence offsets to fn, stopping early if fn returns
+// false. An empty pattern yields a match at every offset including
+// len(text).
+func (m *Matcher) Scan(text []byte, fn func(offset int) bool) {
+	if len(m.pattern) == 0 {
+		for i := 0; i <= len(text); i++ {
+			if !fn(i) {
+				return
+			}
+		}
+		return
+	}
+	k := 0
+	for i := 0; i < len(text); i++ {
+		for k > 0 && m.pattern[k] != text[i] {
+			k = m.fail[k-1]
+		}
+		if m.pattern[k] == text[i] {
+			k++
+		}
+		if k == len(m.pattern) {
+			if !fn(i - k + 1) {
+				return
+			}
+			k = m.fail[k-1]
+		}
+	}
+}
+
+// Count returns the number of (possibly overlapping) occurrences.
+func (m *Matcher) Count(text []byte) int {
+	n := 0
+	m.Scan(text, func(int) bool { n++; return true })
+	return n
+}
+
+// Contains reports whether the pattern occurs in text.
+func (m *Matcher) Contains(text []byte) bool {
+	found := false
+	m.Scan(text, func(int) bool { found = true; return false })
+	return found
+}

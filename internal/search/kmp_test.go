@@ -1,0 +1,105 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindAllKnown(t *testing.T) {
+	cases := []struct {
+		text, pat string
+		want      []int
+	}{
+		{"abcabcabc", "abc", []int{0, 3, 6}},
+		{"aaaa", "aa", []int{0, 1, 2}}, // overlapping
+		{"abcdef", "xyz", nil},
+		{"abc", "abc", []int{0}},
+		{"abc", "abcd", nil},
+		{"", "a", nil},
+		{"mississippi", "issi", []int{1, 4}},
+		{"ababab", "abab", []int{0, 2}},
+	}
+	for _, c := range cases {
+		got := Compile([]byte(c.pat)).FindAll([]byte(c.text))
+		if len(got) != len(c.want) {
+			t.Errorf("FindAll(%q, %q) = %v, want %v", c.text, c.pat, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("FindAll(%q, %q) = %v, want %v", c.text, c.pat, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	m := Compile(nil)
+	got := m.FindAll([]byte("ab"))
+	if len(got) != 3 { // offsets 0, 1, 2
+		t.Errorf("empty pattern matches = %v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	m := Compile([]byte("a"))
+	calls := 0
+	m.Scan([]byte("aaaaaa"), func(int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("scan visited %d matches, want 3", calls)
+	}
+}
+
+func TestCountAndContains(t *testing.T) {
+	m := Compile([]byte("na"))
+	if m.Count([]byte("banana")) != 2 {
+		t.Errorf("Count = %d", m.Count([]byte("banana")))
+	}
+	if !m.Contains([]byte("banana")) || m.Contains([]byte("apple")) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestMatchesNaiveQuick(t *testing.T) {
+	f := func(text, pat []byte) bool {
+		if len(pat) == 0 || len(pat) > 6 {
+			return true
+		}
+		if len(text) > 2000 {
+			text = text[:2000]
+		}
+		got := Compile(pat).FindAll(text)
+		var want []int
+		for i := 0; i+len(pat) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(pat)], pat) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternIsCopied(t *testing.T) {
+	buf := []byte("abc")
+	m := Compile(buf)
+	buf[0] = 'x'
+	if string(m.Pattern()) != "abc" {
+		t.Error("Compile aliased the caller's buffer")
+	}
+}

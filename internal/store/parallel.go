@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"rlz/internal/rlz"
+)
+
+// BuildParallel writes a complete archive for docs, factorizing documents
+// across workers goroutines (0 means GOMAXPROCS). Output is byte-for-byte
+// identical to appending the documents sequentially with a Writer: the
+// dictionary is immutable during factorization, so documents parallelize
+// perfectly, and records are committed in document order.
+//
+// This is the compression-side scalability §3.2 advertises ("lightweight
+// at compression time"): the collection never needs to be resident, one
+// in-flight window of documents is enough.
+func BuildParallel(w io.Writer, dictData []byte, codec rlz.PairCodec, docs [][]byte, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) && len(docs) > 0 {
+		workers = len(docs)
+	}
+	sw, err := NewWriter(w, dictData, codec)
+	if err != nil {
+		return err
+	}
+	if len(docs) == 0 {
+		return sw.Close()
+	}
+	dict := sw.Dictionary()
+
+	// Workers factorize and encode; the committer writes records in
+	// document order. A bounded reorder window (2x workers) keeps memory
+	// proportional to worker count, not collection size.
+	type result struct {
+		id  int
+		rec []byte
+	}
+	window := 2 * workers
+	jobs := make(chan int, window)
+	results := make(chan result, window)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			var factors []rlz.Factor
+			for id := range jobs {
+				factors = dict.Factorize(docs[id], factors[:0])
+				results <- result{id: id, rec: codec.Encode(nil, factors)}
+			}
+		}()
+	}
+	go func() {
+		for id := range docs {
+			jobs <- id
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Commit in order: buffer out-of-order arrivals until their turn.
+	pending := make(map[int][]byte, window)
+	next := 0
+	var firstErr error
+	for r := range results {
+		pending[r.id] = r.rec
+		for rec, ok := pending[next]; ok; rec, ok = pending[next] {
+			delete(pending, next)
+			if firstErr == nil {
+				if _, err := sw.w.Write(rec); err != nil {
+					firstErr = fmt.Errorf("store: writing document %d: %w", next, err)
+				} else {
+					sw.m.Append(uint64(len(rec)))
+				}
+			}
+			next++
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if next != len(docs) {
+		return fmt.Errorf("store: committed %d of %d documents", next, len(docs))
+	}
+	return sw.Close()
+}

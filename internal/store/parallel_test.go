@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rlz/internal/rlz"
+)
+
+func dictFor(docs [][]byte) []byte {
+	var collection []byte
+	for _, d := range docs {
+		collection = append(collection, d...)
+	}
+	return rlz.SampleEven(collection, len(collection)/10+1, 128)
+}
+
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	docs := makeDocs(80, 11)
+	dict := dictFor(docs)
+	for _, codec := range []rlz.PairCodec{rlz.CodecZV, rlz.CodecUV} {
+		var seq bytes.Buffer
+		w, err := NewWriter(&seq, dict, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range docs {
+			if _, err := w.Append(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{1, 2, 7, 64} {
+			var par bytes.Buffer
+			if err := BuildParallel(&par, dict, codec, docs, workers); err != nil {
+				t.Fatalf("%s workers=%d: %v", codec, workers, err)
+			}
+			if !bytes.Equal(par.Bytes(), seq.Bytes()) {
+				t.Fatalf("%s workers=%d: parallel archive differs from sequential (%d vs %d bytes)",
+					codec, workers, par.Len(), seq.Len())
+			}
+		}
+	}
+}
+
+func TestBuildParallelRoundTrip(t *testing.T) {
+	docs := makeDocs(150, 12)
+	var buf bytes.Buffer
+	if err := BuildParallel(&buf, dictFor(docs), rlz.CodecZZ, docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumDocs() != len(docs) {
+		t.Fatalf("NumDocs = %d", r.NumDocs())
+	}
+	for i, want := range docs {
+		got, err := r.Get(i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+	}
+}
+
+func TestBuildParallelEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BuildParallel(&buf, []byte("dict"), rlz.CodecUV, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBytes(buf.Bytes())
+	if err != nil || r.NumDocs() != 0 {
+		t.Fatalf("empty parallel archive: %v, %d docs", err, r.NumDocs())
+	}
+}
+
+type failAfterWriter struct {
+	n    int
+	seen int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	f.seen += len(p)
+	if f.seen > f.n {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestBuildParallelPropagatesWriteError(t *testing.T) {
+	docs := makeDocs(40, 13)
+	err := BuildParallel(&failAfterWriter{n: 4096}, dictFor(docs), rlz.CodecUV, docs, 4)
+	if err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	docs := makeBenchDocs(200, 14)
+	dict := dictFor(docs)
+	var total int64
+	for _, d := range docs {
+		total += int64(len(d))
+	}
+	for _, workers := range []int{1, 4, 0} {
+		name := map[int]string{1: "serial", 4: "4workers", 0: "maxprocs"}[workers]
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(total)
+			for i := 0; i < b.N; i++ {
+				if err := BuildParallel(discard{}, dict, rlz.CodecZV, docs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func makeBenchDocs(n int, seed int64) [][]byte {
+	return makeDocs(n, seed)
+}

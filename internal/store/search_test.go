@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"rlz/internal/rlz"
+)
+
+func searchArchive(t *testing.T) (*Reader, [][]byte) {
+	t.Helper()
+	docs := [][]byte{
+		[]byte("the quick brown fox"),
+		[]byte("lazy dog sleeps"),
+		[]byte("the fox and the fox again"),
+		[]byte("nothing to see"),
+	}
+	arc := buildArchive(t, docs, rlz.CodecZV)
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, docs
+}
+
+func TestScanFindsAllOccurrences(t *testing.T) {
+	r, _ := searchArchive(t)
+	got, err := r.FindAll([]byte("fox"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{{0, 16}, {2, 4}, {2, 16}}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanLimitAndEarlyStop(t *testing.T) {
+	r, _ := searchArchive(t)
+	got, err := r.FindAll([]byte("fox"), 2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("limited find: %v, %v", got, err)
+	}
+	visits := 0
+	err = r.Scan([]byte("the"), func(Match) bool {
+		visits++
+		return false
+	})
+	if err != nil || visits != 1 {
+		t.Fatalf("early stop visited %d matches", visits)
+	}
+}
+
+func TestScanNoMatches(t *testing.T) {
+	r, _ := searchArchive(t)
+	got, err := r.FindAll([]byte("zebra"), 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("FindAll(zebra) = %v, %v", got, err)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	r, docs := searchArchive(t)
+	for id, doc := range docs {
+		for _, span := range [][2]int{{0, 4}, {4, 9}, {0, len(doc)}, {len(doc) - 3, len(doc) + 50}, {2, 2}} {
+			got, err := r.GetRange(id, span[0], span[1])
+			if err != nil {
+				t.Fatalf("GetRange(%d, %d, %d): %v", id, span[0], span[1], err)
+			}
+			lo, hi := span[0], span[1]
+			if hi > len(doc) {
+				hi = len(doc)
+			}
+			if lo >= hi {
+				if len(got) != 0 {
+					t.Fatalf("empty span returned %q", got)
+				}
+				continue
+			}
+			if !bytes.Equal(got, doc[lo:hi]) {
+				t.Fatalf("GetRange(%d, %d, %d) = %q, want %q", id, span[0], span[1], got, doc[lo:hi])
+			}
+		}
+	}
+	if _, err := r.GetRange(99, 0, 4); err == nil {
+		t.Error("out-of-range doc accepted")
+	}
+}
+
+func TestScanMatchesSpanningFactors(t *testing.T) {
+	// Build an archive where the pattern straddles factor boundaries: a
+	// pattern half in dictionary-covered text, half in literal territory.
+	dict := []byte("AAAACCCC")
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dict, rlz.CodecUV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("AAAAxyzCCCC") // xyz are literals, pattern "Axyz" and "zCCC" straddle
+	if _, err := w.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{"Axyz", "zCCC", "AAAAxyzCCCC"} {
+		got, err := r.FindAll([]byte(pat), 0)
+		if err != nil || len(got) != 1 {
+			t.Errorf("FindAll(%q) = %v, %v", pat, got, err)
+		}
+	}
+}

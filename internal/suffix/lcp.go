@@ -1,0 +1,63 @@
+package suffix
+
+// LCP computes the longest-common-prefix array of text under its suffix
+// array sa using Kasai's algorithm in O(n) time: lcp[i] is the length of
+// the longest common prefix of the suffixes at sa[i-1] and sa[i], with
+// lcp[0] = 0.
+func LCP(text []byte, sa []int32) []int32 {
+	n := len(text)
+	lcp := make([]int32, n)
+	if n == 0 {
+		return lcp
+	}
+	// rank is the inverse permutation of sa.
+	rank := make([]int32, n)
+	for i, p := range sa {
+		rank[p] = int32(i)
+	}
+	var h int32
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[r-1])
+		for i+int(h) < n && j+int(h) < n && text[i+int(h)] == text[j+int(h)] {
+			h++
+		}
+		lcp[r] = h
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}
+
+// LCP returns the array's LCP table, computing it on first use is left to
+// the caller (the table is not cached: factorization never needs it, and
+// analysis passes want control over its lifetime).
+func (a *Array) LCP() []int32 {
+	return LCP(a.text, a.sa)
+}
+
+// SelfRepetition estimates how internally redundant the text is: the
+// fraction of suffix-array slots whose suffix shares a prefix of at least
+// minLen bytes with its lexicographic neighbour. A high value means many
+// minLen-grams occur more than once — for an RLZ dictionary, space that
+// buys no additional matching power (the redundancy §6 of the paper
+// observes and iterative refinement attacks).
+func (a *Array) SelfRepetition(minLen int) float64 {
+	n := len(a.text)
+	if n == 0 {
+		return 0
+	}
+	lcp := a.LCP()
+	dup := 0
+	for _, l := range lcp {
+		if int(l) >= minLen {
+			dup++
+		}
+	}
+	return float64(dup) / float64(n)
+}

@@ -1,0 +1,97 @@
+package suffix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveLCP(text []byte, sa []int32) []int32 {
+	lcp := make([]int32, len(sa))
+	for i := 1; i < len(sa); i++ {
+		a, b := int(sa[i-1]), int(sa[i])
+		var h int32
+		for a+int(h) < len(text) && b+int(h) < len(text) && text[a+int(h)] == text[b+int(h)] {
+			h++
+		}
+		lcp[i] = h
+	}
+	return lcp
+}
+
+func TestLCPKnown(t *testing.T) {
+	// banana: SA = [5 3 1 0 4 2] (a, ana, anana, banana, na, nana);
+	// LCP = [0 1 3 0 0 2].
+	text := []byte("banana")
+	sa := Build(text)
+	lcp := LCP(text, sa)
+	want := []int32{0, 1, 3, 0, 0, 2}
+	for i := range want {
+		if lcp[i] != want[i] {
+			t.Fatalf("lcp = %v, want %v", lcp, want)
+		}
+	}
+}
+
+func TestLCPMatchesNaiveQuick(t *testing.T) {
+	f := func(text []byte) bool {
+		if len(text) > 1500 {
+			text = text[:1500]
+		}
+		sa := Build(text)
+		got := LCP(text, sa)
+		want := naiveLCP(text, sa)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCPEmptyAndSingle(t *testing.T) {
+	if got := LCP(nil, nil); len(got) != 0 {
+		t.Errorf("LCP of empty text = %v", got)
+	}
+	if got := LCP([]byte("x"), []int32{0}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("LCP of single byte = %v", got)
+	}
+}
+
+func TestSelfRepetitionExtremes(t *testing.T) {
+	// All-equal text: every adjacent suffix pair shares a long prefix.
+	runs := New(bytes.Repeat([]byte{'a'}, 1000))
+	if rep := runs.SelfRepetition(8); rep < 0.95 {
+		t.Errorf("run text repetition = %v, want near 1", rep)
+	}
+	// Random bytes: 8-grams essentially never repeat.
+	rng := rand.New(rand.NewSource(6))
+	random := make([]byte, 1000)
+	rng.Read(random)
+	if rep := New(random).SelfRepetition(8); rep > 0.05 {
+		t.Errorf("random text repetition = %v, want near 0", rep)
+	}
+}
+
+func TestSelfRepetitionOrdering(t *testing.T) {
+	// A text that is two copies of a unit is more self-repetitive than
+	// the unit alone.
+	rng := rand.New(rand.NewSource(7))
+	unit := make([]byte, 500)
+	for i := range unit {
+		unit[i] = byte('a' + rng.Intn(20))
+	}
+	single := New(unit).SelfRepetition(16)
+	double := New(append(append([]byte{}, unit...), unit...)).SelfRepetition(16)
+	if double <= single {
+		t.Errorf("doubled text repetition %v not above single %v", double, single)
+	}
+	if empty := New(nil).SelfRepetition(4); empty != 0 {
+		t.Errorf("empty text repetition = %v", empty)
+	}
+}

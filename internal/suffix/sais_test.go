@@ -1,0 +1,153 @@
+package suffix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildKnownExamples(t *testing.T) {
+	cases := []struct {
+		text string
+		want []int32
+	}{
+		{"", []int32{}},
+		{"a", []int32{0}},
+		{"aa", []int32{1, 0}},
+		{"ab", []int32{0, 1}},
+		{"ba", []int32{1, 0}},
+		{"banana", []int32{5, 3, 1, 0, 4, 2}},
+		{"mississippi", []int32{10, 7, 4, 1, 0, 9, 8, 6, 3, 5, 2}},
+		// The paper's Table 1 dictionary. The printed SA_d row in the
+		// paper (9 4 8 6 2 3 7 5 1) contradicts the suffix listing right
+		// below it (a, aabba, abba, abbaabba, ba, baabba, bba, bbaabba,
+		// cabbaabba); we follow the listing, whose 1-based positions are
+		// 9 5 6 2 8 4 7 3 1.
+		{"cabbaabba", []int32{8, 4, 5, 1, 7, 3, 6, 2, 0}},
+	}
+	for _, c := range cases {
+		got := Build([]byte(c.text))
+		if len(got) != len(c.want) {
+			t.Fatalf("Build(%q) length = %d, want %d", c.text, len(got), len(c.want))
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Build(%q) = %v, want %v", c.text, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestBuildMatchesNaiveQuick(t *testing.T) {
+	f := func(text []byte) bool {
+		if len(text) > 2000 {
+			text = text[:2000]
+		}
+		got := Build(text)
+		want := BuildNaive(text)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSmallAlphabets(t *testing.T) {
+	// Small alphabets force deep SA-IS recursion; exercise several.
+	rng := rand.New(rand.NewSource(42))
+	for _, sigma := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, 2, 3, 10, 100, 1000} {
+			text := make([]byte, n)
+			for i := range text {
+				text[i] = byte(rng.Intn(sigma))
+			}
+			a := NewFromParts(text, Build(text))
+			if !a.Validate() {
+				t.Fatalf("invalid SA for sigma=%d n=%d", sigma, n)
+			}
+		}
+	}
+}
+
+func TestBuildPeriodicAndRuns(t *testing.T) {
+	cases := [][]byte{
+		bytes.Repeat([]byte{'a'}, 500),
+		bytes.Repeat([]byte("ab"), 300),
+		bytes.Repeat([]byte("abc"), 200),
+		bytes.Repeat([]byte("aab"), 200),
+		append(bytes.Repeat([]byte{'a'}, 200), bytes.Repeat([]byte{'b'}, 200)...),
+		{0, 0, 0, 255, 255, 0, 255},
+	}
+	for i, text := range cases {
+		a := NewFromParts(text, Build(text))
+		if !a.Validate() {
+			t.Errorf("case %d: invalid suffix array", i)
+		}
+	}
+}
+
+func TestBuildAllByteValues(t *testing.T) {
+	text := make([]byte, 256)
+	for i := range text {
+		text[i] = byte(255 - i)
+	}
+	a := NewFromParts(text, Build(text))
+	if !a.Validate() {
+		t.Fatal("invalid SA over full byte alphabet")
+	}
+	// Descending text: suffix i is lexicographically... text[i]=255-i so
+	// suffix starting later begins with larger byte. Smallest suffix is
+	// the whole string (starts with 255? no: text[0]=255). Suffixes start
+	// with 255-i, so suffix 255 starts with 0 and is smallest.
+	if a.SA()[0] != 255 {
+		t.Errorf("SA[0] = %d, want 255", a.SA()[0])
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	text := []byte("the quick brown fox jumps over the lazy dog")
+	sa := Build(text)
+	a := NewFromParts(text, sa)
+	if !a.Validate() {
+		t.Fatal("fresh array failed validation")
+	}
+	sa[3], sa[7] = sa[7], sa[3]
+	if a.Validate() {
+		t.Error("swapped entries passed validation")
+	}
+	sa[3], sa[7] = sa[7], sa[3]
+	sa[0] = sa[1] // duplicate
+	if a.Validate() {
+		t.Error("duplicated entry passed validation")
+	}
+	short := NewFromParts(text, sa[:len(sa)-1])
+	if short.Validate() {
+		t.Error("short SA passed validation")
+	}
+}
+
+func BenchmarkBuild1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	text := make([]byte, 1<<20)
+	words := []string{"the", "web", "page", "href", "<div>", "</div>", "content", "title "}
+	for i := 0; i < len(text); {
+		w := words[rng.Intn(len(words))]
+		i += copy(text[i:], w)
+	}
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(text)
+	}
+}

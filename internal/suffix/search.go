@@ -1,0 +1,160 @@
+package suffix
+
+import "sort"
+
+// Array couples a text with its suffix array and provides the pattern
+// matching primitives the RLZ factorizer needs. Array is immutable after
+// construction and safe for concurrent readers.
+type Array struct {
+	text []byte
+	sa   []int32
+}
+
+// New builds the suffix array of text with SA-IS and returns the searchable
+// Array. The text is retained (not copied); callers must not mutate it.
+func New(text []byte) *Array {
+	return &Array{text: text, sa: Build(text)}
+}
+
+// NewFromParts assembles an Array from a text and a previously built suffix
+// array, e.g. one loaded from disk. It does not validate sa; use Validate.
+func NewFromParts(text []byte, sa []int32) *Array {
+	return &Array{text: text, sa: sa}
+}
+
+// Text returns the underlying text. Callers must not mutate it.
+func (a *Array) Text() []byte { return a.text }
+
+// SA returns the raw suffix array. Callers must not mutate it.
+func (a *Array) SA() []int32 { return a.sa }
+
+// Len returns the length of the indexed text.
+func (a *Array) Len() int { return len(a.text) }
+
+// Interval is a half-open range [Lo, Hi) of suffix-array slots. Every
+// suffix in a valid interval shares a common prefix with the pattern being
+// matched; an empty interval (Lo >= Hi) means no suffix matches.
+type Interval struct {
+	Lo, Hi int32
+}
+
+// Empty reports whether the interval contains no suffixes.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Size returns the number of suffixes in the interval.
+func (iv Interval) Size() int32 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// All returns the interval spanning the whole suffix array — the starting
+// point for a Refine chain.
+func (a *Array) All() Interval {
+	return Interval{0, int32(len(a.sa))}
+}
+
+// Refine narrows iv, whose suffixes all share a matching prefix of length
+// depth, to the sub-interval of suffixes whose next character equals c.
+// This is the paper's Refine(lb, rb, j-i, x[j]): because the suffix array
+// is lexicographically ordered, both bounds are found by binary search, so
+// a full factor of length l costs O(l log m) character comparisons.
+//
+// Suffixes that end exactly at depth (no next character) sort before every
+// continuation and are excluded by the lower-bound search.
+func (a *Array) Refine(iv Interval, depth int32, c byte) Interval {
+	if iv.Empty() {
+		return Interval{}
+	}
+	text, sa := a.text, a.sa
+	n := int32(len(text))
+	// charAt returns the suffix's character at the current depth, or -1 if
+	// the suffix is exhausted (exhausted suffixes sort first).
+	charAt := func(slot int32) int {
+		p := sa[slot] + depth
+		if p >= n {
+			return -1
+		}
+		return int(text[p])
+	}
+	lo := iv.Lo + int32(sort.Search(int(iv.Hi-iv.Lo), func(k int) bool {
+		return charAt(iv.Lo+int32(k)) >= int(c)
+	}))
+	hi := iv.Lo + int32(sort.Search(int(iv.Hi-iv.Lo), func(k int) bool {
+		return charAt(iv.Lo+int32(k)) > int(c)
+	}))
+	return Interval{lo, hi}
+}
+
+// LongestMatch finds the longest prefix of pattern that occurs in the
+// indexed text, returning the occurrence's start position and the match
+// length. A zero length means pattern[0] does not occur in the text at all
+// (the RLZ literal case). The reported position is the lexicographically
+// smallest matching suffix, mirroring the paper's return of SA_d[lb].
+func (a *Array) LongestMatch(pattern []byte) (pos int32, length int32) {
+	iv := a.All()
+	for length = 0; length < int32(len(pattern)); length++ {
+		next := a.Refine(iv, length, pattern[length])
+		if next.Empty() {
+			break
+		}
+		iv = next
+	}
+	if length == 0 {
+		return 0, 0
+	}
+	return a.sa[iv.Lo], length
+}
+
+// Lookup returns the interval of suffixes having pattern as a prefix.
+func (a *Array) Lookup(pattern []byte) Interval {
+	iv := a.All()
+	for depth := int32(0); depth < int32(len(pattern)) && !iv.Empty(); depth++ {
+		iv = a.Refine(iv, depth, pattern[depth])
+	}
+	return iv
+}
+
+// Count returns the number of occurrences of pattern in the text.
+func (a *Array) Count(pattern []byte) int {
+	return int(a.Lookup(pattern).Size())
+}
+
+// Occurrences returns the start positions of every occurrence of pattern,
+// in no particular order (suffix-array order).
+func (a *Array) Occurrences(pattern []byte) []int32 {
+	iv := a.Lookup(pattern)
+	if iv.Empty() {
+		return nil
+	}
+	out := make([]int32, 0, iv.Size())
+	for i := iv.Lo; i < iv.Hi; i++ {
+		out = append(out, a.sa[i])
+	}
+	return out
+}
+
+// Validate checks that the stored suffix array is a permutation of
+// [0, len(text)) in strictly increasing suffix order. It is O(n^2) in the
+// worst case and intended for tests and for verifying arrays loaded from
+// untrusted files.
+func (a *Array) Validate() bool {
+	n := len(a.text)
+	if len(a.sa) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, p := range a.sa {
+		if p < 0 || int(p) >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	for i := 1; i < n; i++ {
+		if compareSuffixes(a.text, a.sa[i-1], a.sa[i]) >= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+// Package units parses and formats byte sizes for the CLIs ("1MB",
+// "512KB", "64", "1GB").
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a human byte size. Suffixes KB, MB and GB are binary
+// (1024-based); a bare number or a trailing B means bytes.
+func ParseSize(s string) (int, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(u))
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	return n * mult, nil
+}
+
+// FormatSize renders n compactly with a binary suffix.
+func FormatSize(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

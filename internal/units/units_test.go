@@ -1,0 +1,58 @@
+package units
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"0":      0,
+		"17":     17,
+		"64B":    64,
+		"1KB":    1 << 10,
+		"512kb":  512 << 10,
+		" 2MB ":  2 << 20,
+		"1GB":    1 << 30,
+		"3 MB":   3 << 20,
+		"1024KB": 1 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "MB", "x12", "12.5MB", "-3KB", "-1"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) accepted", in)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int]string{
+		0:         "0B",
+		100:       "100B",
+		1 << 10:   "1KB",
+		1536:      "1.5KB",
+		1 << 20:   "1MB",
+		3 << 19:   "1.5MB",
+		512 << 10: "512KB",
+		1 << 30:   "1GB",
+	}
+	for n, want := range cases {
+		if got := FormatSize(n); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 5, 1 << 10, 3 << 20, 1 << 30} {
+		got, err := ParseSize(FormatSize(n))
+		if err != nil || got != n {
+			t.Errorf("round trip of %d via %q = %d, %v", n, FormatSize(n), got, err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package warc
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{URL: "http://a.example/1", Body: []byte("first body")},
+		{URL: "http://a.example/2", Body: nil},
+		{URL: "", Body: []byte("no url")},
+		{URL: "http://b.example/" + strings.Repeat("x", 500), Body: bytes.Repeat([]byte{0}, 10000)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].URL != recs[i].URL || !bytes.Equal(got[i].Body, recs[i].Body) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(urls [][]byte, bodies [][]byte) bool {
+		n := len(urls)
+		if len(bodies) < n {
+			n = len(bodies)
+		}
+		var recs []Record
+		for i := 0; i < n; i++ {
+			u := urls[i]
+			if len(u) > MaxURLLen {
+				u = u[:MaxURLLen]
+			}
+			recs = append(recs, Record{URL: string(u), Body: bodies[i]})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i].URL != recs[i].URL || !bytes.Equal(got[i].Body, recs[i].Body) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatenatedFilesStream(t *testing.T) {
+	// Two independently written streams concatenate into one valid file.
+	var a, b bytes.Buffer
+	wa, wb := NewWriter(&a), NewWriter(&b)
+	wa.Write(Record{URL: "u1", Body: []byte("b1")})
+	wa.Flush()
+	wb.Write(Record{URL: "u2", Body: []byte("b2")})
+	wb.Flush()
+	both := append(a.Bytes(), b.Bytes()...)
+	recs, err := ReadAll(bytes.NewReader(both))
+	if err != nil || len(recs) != 2 || recs[1].URL != "u2" {
+		t.Fatalf("concatenated read: %v, %d records", err, len(recs))
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{URL: "http://x", Body: []byte("body bytes here")})
+	w.Flush()
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadAll(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncations: every prefix must yield EOF (at a record boundary,
+	// position 0) or ErrCorrupt — never a panic or phantom record.
+	for i := 1; i < len(data); i++ {
+		recs, err := ReadAll(bytes.NewReader(data[:i]))
+		if err == nil && len(recs) > 0 {
+			t.Fatalf("truncation to %d produced %d records", i, len(recs))
+		}
+	}
+	// Oversized declared body.
+	huge := []byte{'W', 'R', 'E', 'C', 1, 'u', 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	if _, err := ReadAll(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized body length accepted")
+	}
+}
+
+func TestWriterRejectsOversized(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Record{URL: strings.Repeat("u", MaxURLLen+1)}); err == nil {
+		t.Error("oversized URL accepted")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.warc")
+	recs := []Record{{URL: "a", Body: []byte("1")}, {URL: "b", Body: []byte("2")}}
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || len(got) != 2 || got[1].URL != "b" {
+		t.Fatalf("ReadFile: %v, %v", got, err)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	recs, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream: %v, %d records", err, len(recs))
+	}
+}

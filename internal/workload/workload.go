@@ -1,0 +1,57 @@
+// Package workload generates the document access patterns of the paper's
+// evaluation (§4, Method): a sequential ID list simulating large-scale
+// batch processing, and a query-log-style list simulating the ranked
+// output of real search queries hitting a document store.
+package workload
+
+import "math/rand"
+
+// Sequential returns n document IDs cycling 0, 1, 2, ... over a collection
+// of numDocs documents — the paper's batch-processing access pattern.
+func Sequential(numDocs, n int) []int {
+	if numDocs <= 0 || n <= 0 {
+		return nil
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i % numDocs
+	}
+	return ids
+}
+
+// QueryLog returns n document IDs with the skewed, non-sequential shape of
+// IDs surfaced by ranked retrieval: query popularity follows a Zipf law,
+// so some documents are requested many times while most are rare, and
+// consecutive requests land far apart in the collection.
+//
+// Document popularity ranks are decoupled from document position by a
+// seeded permutation — in a real index, nothing makes low IDs popular.
+// Deterministic in seed.
+func QueryLog(numDocs, n int, seed int64) []int {
+	if numDocs <= 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(numDocs)
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(numDocs-1))
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = perm[int(zipf.Uint64())]
+	}
+	return ids
+}
+
+// Uniform returns n document IDs drawn uniformly at random — a harsher
+// random-access pattern than QueryLog (no cache-friendly skew), used by
+// ablation benches. Deterministic in seed.
+func Uniform(numDocs, n int, seed int64) []int {
+	if numDocs <= 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = rng.Intn(numDocs)
+	}
+	return ids
+}

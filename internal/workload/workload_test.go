@@ -1,0 +1,131 @@
+package workload
+
+import "testing"
+
+func TestSequential(t *testing.T) {
+	ids := Sequential(5, 12)
+	want := []int{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}
+	if len(ids) != len(want) {
+		t.Fatalf("len = %d", len(ids))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %d, want %d", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestSequentialDegenerate(t *testing.T) {
+	if Sequential(0, 5) != nil || Sequential(5, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestQueryLogDeterministicAndInRange(t *testing.T) {
+	a := QueryLog(1000, 5000, 7)
+	b := QueryLog(1000, 5000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("id %d out of range", a[i])
+		}
+	}
+	c := QueryLog(1000, 5000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestQueryLogIsSkewed(t *testing.T) {
+	ids := QueryLog(10000, 50000, 1)
+	counts := map[int]int{}
+	for _, id := range ids {
+		counts[id]++
+	}
+	// Zipf access: far fewer distinct documents than requests, and the
+	// hottest document requested many times.
+	if len(counts) > len(ids)/2 {
+		t.Errorf("%d distinct ids in %d requests; not skewed", len(counts), len(ids))
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 100 {
+		t.Errorf("hottest document requested only %d times", max)
+	}
+}
+
+func TestQueryLogIsNonSequential(t *testing.T) {
+	ids := QueryLog(100000, 10000, 2)
+	// Consecutive requests should be far apart on average: mean absolute
+	// gap for uniform-ish jumps over N docs is ~N/3.
+	var totalGap float64
+	for i := 1; i < len(ids); i++ {
+		g := ids[i] - ids[i-1]
+		if g < 0 {
+			g = -g
+		}
+		totalGap += float64(g)
+	}
+	if mean := totalGap / float64(len(ids)-1); mean < 1000 {
+		t.Errorf("mean gap %f; requests look sequential", mean)
+	}
+}
+
+func TestQueryLogPopularityNotPositional(t *testing.T) {
+	// The most popular document must not systematically be document 0:
+	// popularity is decoupled from position by the permutation.
+	hot := make([]int, 0, 5)
+	for seed := int64(0); seed < 5; seed++ {
+		ids := QueryLog(10000, 20000, seed)
+		counts := map[int]int{}
+		for _, id := range ids {
+			counts[id]++
+		}
+		best, bestN := 0, 0
+		for id, n := range counts {
+			if n > bestN {
+				best, bestN = id, n
+			}
+		}
+		hot = append(hot, best)
+	}
+	allZero := true
+	for _, h := range hot {
+		if h != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("hottest document is always id 0; permutation not applied")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	a := Uniform(50, 1000, 3)
+	b := Uniform(50, 1000, 3)
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 0 || a[i] >= 50 {
+			t.Fatalf("id %d out of range", a[i])
+		}
+		seen[a[i]] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("only %d/50 ids seen in 1000 draws", len(seen))
+	}
+}
