@@ -14,11 +14,16 @@
 package bench
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
 	"testing"
 
+	"rlz/internal/archive"
+	"rlz/internal/corpus"
 	"rlz/internal/experiment"
+	"rlz/internal/rlz"
+	"rlz/internal/workload"
 )
 
 func cfg(b *testing.B) experiment.Config {
@@ -90,3 +95,84 @@ func BenchmarkExtensions(b *testing.B) { runTable(b, "Extensions", 1, "enc-pct")
 // BenchmarkGenomes regenerates the genome-collection table (RLZ's
 // original domain, the paper's citation [20]).
 func BenchmarkGenomes(b *testing.B) { runTable(b, "Genomes", 1, "enc-pct") }
+
+// crossBackendOptions enumerates the unified-interface comparison axis:
+// RLZ versus the paper's two baselines, one Options per backend.
+func crossBackendOptions(coll *corpus.Collection) []struct {
+	name string
+	opts archive.Options
+} {
+	dict := rlz.SampleEven(coll.Bytes(), int(coll.TotalSize())/100, 1<<10)
+	return []struct {
+		name string
+		opts archive.Options
+	}{
+		{"rlz", archive.Options{Backend: archive.RLZ, Dict: dict, Codec: rlz.CodecZV}},
+		{"zlib-block", archive.Options{Backend: archive.Block, BlockSize: 256 << 10}},
+		{"raw", archive.Options{Backend: archive.Raw}},
+	}
+}
+
+// BenchmarkCrossBackendGet drives the same query-log random-access
+// workload through every backend via the unified archive interface, so
+// BENCH_*.json tracks RLZ against both baselines on one axis. Each
+// sub-benchmark reports bytes decoded per op plus the backend's encoded
+// size as a percentage of raw.
+func BenchmarkCrossBackendGet(b *testing.B) {
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes, c.Seed)
+	raw := coll.TotalSize()
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
+	for _, bk := range crossBackendOptions(coll) {
+		var buf bytes.Buffer
+		if _, err := archive.Build(&buf, archive.FromBodies(bodies), bk.opts); err != nil {
+			b.Fatal(err)
+		}
+		r, err := archive.OpenBytes(buf.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bk.name, func(b *testing.B) {
+			var dst []byte
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					dst, err = r.GetAppend(dst[:0], id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += int64(len(dst))
+				}
+			}
+			b.SetBytes(total / int64(b.N))
+			b.ReportMetric(100*float64(r.Size())/float64(raw), "enc-pct")
+		})
+	}
+}
+
+// BenchmarkCrossBackendBuild measures the streaming parallel build
+// pipeline for every backend, in raw bytes consumed per second.
+func BenchmarkCrossBackendBuild(b *testing.B) {
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes/2, c.Seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	for _, bk := range crossBackendOptions(coll) {
+		b.Run(bk.name, func(b *testing.B) {
+			b.SetBytes(coll.TotalSize())
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if _, err := archive.Build(&buf, archive.FromBodies(bodies), bk.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

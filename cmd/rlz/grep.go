@@ -5,12 +5,13 @@ import (
 	"fmt"
 	"os"
 
-	"rlz/internal/store"
+	"rlz/internal/archive"
 )
 
 // cmdGrep searches the archive for a byte pattern and prints one line per
 // match: document ID, offset, and a context window fetched with GetRange
-// (so only the window is decoded, not the whole document twice).
+// (so only the window is decoded, not the whole document twice). Search
+// is a capability of the RLZ backend; other backends report an error.
 func cmdGrep(args []string) error {
 	fs := flag.NewFlagSet("grep", flag.ExitOnError)
 	arc := fs.String("a", "", "archive path (required)")
@@ -24,18 +25,22 @@ func cmdGrep(args []string) error {
 	}
 	pattern := []byte(fs.Arg(0))
 
-	r, err := store.OpenFile(*arc)
+	r, err := archive.Open(*arc)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
+	s, ok := archive.AsSearcher(r)
+	if !ok {
+		return fmt.Errorf("grep: %s archives do not support search (rebuild with -backend rlz)", r.Stats().Backend)
+	}
 
-	matches, err := r.FindAll(pattern, *limit)
+	matches, err := s.FindAll(pattern, *limit)
 	if err != nil {
 		return err
 	}
 	for _, m := range matches {
-		ctx, err := r.GetRange(m.Doc, m.Offset-*radius, m.Offset+len(pattern)+*radius)
+		ctx, err := s.GetRange(m.Doc, m.Offset-*radius, m.Offset+len(pattern)+*radius)
 		if err != nil {
 			return err
 		}

@@ -1,18 +1,23 @@
-// Command rlz builds and queries RLZ archives: document collections
-// compressed against a sampled dictionary with fast random access, per
-// Hoobin, Puglisi & Zobel (VLDB 2011).
+// Command rlz builds and queries document archives: RLZ-compressed
+// collections per Hoobin, Puglisi & Zobel (VLDB 2011), the paper's
+// block-compressed baselines, and the uncompressed ascii baseline — all
+// through one backend-neutral archive layer.
 //
 // Usage:
 //
-//	rlz build -o archive.rlz [-codec ZV] [-dict 1MB] [-sample 1KB] FILE...
-//	rlz build -o archive.rlz -dir ./crawl
+//	rlz build -o archive.rlz [-backend rlz|block|raw] [-codec ZV] [-dict 1MB] [-sample 1KB] FILE...
+//	rlz build -o archive.blk -backend block [-block 256KB] [-alg zlib|lzma] -dir ./crawl
 //	rlz get -a archive.rlz -id 3
 //	rlz cat -a archive.rlz
 //	rlz stats -a archive.rlz
 //	rlz verify -a archive.rlz
+//	rlz grep -a archive.rlz PATTERN
 //
 // Each input file is one document; -dir walks a directory tree in
-// lexical order, taking every regular file as a document.
+// lexical order, taking every regular file as a document; -warc streams
+// a warc collection file. Reading commands auto-detect the backend from
+// the archive's magic, so none of them need to be told which scheme
+// built the file.
 package main
 
 import (
@@ -23,10 +28,11 @@ import (
 	"path/filepath"
 	"sort"
 
+	"rlz/internal/archive"
+	"rlz/internal/blockstore"
+	"rlz/internal/lz77"
 	"rlz/internal/rlz"
-	"rlz/internal/store"
 	"rlz/internal/units"
-	"rlz/internal/warc"
 )
 
 func main() {
@@ -63,7 +69,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rlz build  -o ARCHIVE [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE] FILE... | -dir DIR
+  rlz build  -o ARCHIVE [-backend rlz|block|raw] [-workers N] FILE... | -dir DIR | -warc FILE
+             rlz backend:   [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE]
+             block backend: [-block SIZE] [-alg zlib|lzma]
   rlz get    -a ARCHIVE -id N
   rlz cat    -a ARCHIVE
   rlz stats  -a ARCHIVE
@@ -74,9 +82,13 @@ func usage() {
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	out := fs.String("o", "", "output archive path (required)")
-	codecName := fs.String("codec", "ZV", "pair codec: ZZ, ZV, UZ, UV (paper) or ZS, US, ZH, UH (extensions)")
-	dictSize := fs.String("dict", "0", "dictionary size (e.g. 1MB); 0 means 1% of the collection")
-	sampleSize := fs.String("sample", "1KB", "dictionary sample length")
+	backendName := fs.String("backend", "rlz", "storage backend: rlz, block or raw")
+	codecName := fs.String("codec", "ZV", "rlz pair codec: ZZ, ZV, UZ, UV (paper) or ZS, US, ZH, UH (extensions)")
+	dictSize := fs.String("dict", "0", "rlz dictionary size (e.g. 1MB); 0 means 1% of the collection")
+	sampleSize := fs.String("sample", "1KB", "rlz dictionary sample length")
+	blockSize := fs.String("block", "256KB", "block backend: uncompressed block capacity; 0 means one doc per block")
+	algName := fs.String("alg", "zlib", "block backend compressor: zlib or lzma")
+	workers := fs.Int("workers", 0, "build concurrency; 0 means GOMAXPROCS (output is identical at any count)")
 	dir := fs.String("dir", "", "treat every regular file under this directory as a document")
 	warcPath := fs.String("warc", "", "read documents from a warc collection file (see cmd/rlzgen)")
 	if err := fs.Parse(args); err != nil {
@@ -85,33 +97,18 @@ func cmdBuild(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("build: -o is required")
 	}
-	codec, err := rlz.CodecByName(*codecName)
-	if err != nil {
-		return err
-	}
-	ds, err := units.ParseSize(*dictSize)
-	if err != nil {
-		return err
-	}
-	ss, err := units.ParseSize(*sampleSize)
+	backend, err := archive.ParseBackend(*backendName)
 	if err != nil {
 		return err
 	}
 
-	// Gather documents: explicit files, a directory walk, or a warc
-	// collection file.
-	var docs [][]byte
-	var names []string
+	// The document source is re-openable: RLZ dictionary sampling makes
+	// two streaming passes before the build pass, so documents are never
+	// all resident at once.
+	var openSrc func() (archive.DocSource, error)
 	switch {
 	case *warcPath != "":
-		recs, err := warc.ReadFile(*warcPath)
-		if err != nil {
-			return err
-		}
-		for _, rec := range recs {
-			docs = append(docs, rec.Body)
-			names = append(names, rec.URL)
-		}
+		openSrc = func() (archive.DocSource, error) { return archive.FromWARC(*warcPath) }
 	default:
 		paths := fs.Args()
 		if *dir != "" {
@@ -120,67 +117,76 @@ func cmdBuild(args []string) error {
 				return err
 			}
 		}
-		docs = make([][]byte, len(paths))
-		names = paths
-		for i, p := range paths {
-			docs[i], err = os.ReadFile(p)
-			if err != nil {
-				return err
-			}
+		if len(paths) == 0 {
+			return fmt.Errorf("build: no input documents")
+		}
+		openSrc = func() (archive.DocSource, error) { return archive.FromFiles(paths), nil }
+	}
+
+	opts := archive.Options{Backend: backend, Workers: *workers}
+	switch backend {
+	case archive.RLZ:
+		codec, err := rlz.CodecByName(*codecName)
+		if err != nil {
+			return err
+		}
+		ds, err := units.ParseSize(*dictSize)
+		if err != nil {
+			return err
+		}
+		ss, err := units.ParseSize(*sampleSize)
+		if err != nil {
+			return err
+		}
+		dict, total, err := archive.SampleDict(openSrc, ds, ss)
+		if err != nil {
+			return err
+		}
+		if total == 0 {
+			return fmt.Errorf("build: no input documents")
+		}
+		opts.Dict = dict
+		opts.Codec = codec
+	case archive.Block:
+		bs, err := units.ParseSize(*blockSize)
+		if err != nil {
+			return err
+		}
+		opts.BlockSize = bs
+		switch *algName {
+		case "zlib":
+			opts.Algorithm = blockstore.Zlib
+		case "lzma":
+			opts.Algorithm = blockstore.LZ77
+			opts.LZ77 = lz77.Options{WindowSize: 4 << 20, MaxChain: 32}
+		default:
+			return fmt.Errorf("build: unknown algorithm %q (want zlib or lzma)", *algName)
 		}
 	}
-	if len(docs) == 0 {
+
+	src, err := openSrc()
+	if err != nil {
+		return err
+	}
+	res, err := archive.Create(*out, src, opts)
+	if err != nil {
+		return err
+	}
+	if res.Docs == 0 {
+		os.Remove(*out)
 		return fmt.Errorf("build: no input documents")
-	}
-
-	// Pass 1: read the collection to sample the dictionary (§3.3 treats
-	// the collection as a single string).
-	var total int
-	for _, d := range docs {
-		total += len(d)
-	}
-	collection := make([]byte, 0, total)
-	for _, d := range docs {
-		collection = append(collection, d...)
-	}
-	if ds <= 0 {
-		ds = total / 100
-		if ds < 4096 {
-			ds = 4096
-		}
-	}
-	dict := rlz.SampleEven(collection, ds, ss)
-
-	// Pass 2: factorize and write.
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w, err := store.NewWriter(f, dict, codec)
-	if err != nil {
-		return err
-	}
-	stats := rlz.NewStats(w.Dictionary())
-	w.CollectStats(stats)
-	for i, d := range docs {
-		if _, err := w.Append(d); err != nil {
-			return fmt.Errorf("appending %s: %w", names[i], err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
 	}
 	st, err := os.Stat(*out)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d docs, %d -> %d bytes (%.2f%%), dict %d bytes, codec %s, avg factor %.1f\n",
-		*out, len(docs), total, st.Size(), 100*float64(st.Size())/float64(total),
-		len(dict), codec, stats.AvgFactorLen())
+	fmt.Printf("%s: backend %s, %d docs, %d -> %d bytes (%.2f%%)",
+		*out, backend, res.Docs, res.RawBytes, st.Size(),
+		100*float64(st.Size())/float64(res.RawBytes))
+	if backend == archive.RLZ {
+		fmt.Printf(", dict %d bytes, codec %s", len(opts.Dict), opts.Codec)
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -209,7 +215,7 @@ func cmdGet(args []string) error {
 	if *arc == "" || *id < 0 {
 		return fmt.Errorf("get: -a and -id are required")
 	}
-	r, err := store.OpenFile(*arc)
+	r, err := archive.Open(*arc)
 	if err != nil {
 		return err
 	}
@@ -231,7 +237,7 @@ func cmdCat(args []string) error {
 	if *arc == "" {
 		return fmt.Errorf("cat: -a is required")
 	}
-	r, err := store.OpenFile(*arc)
+	r, err := archive.Open(*arc)
 	if err != nil {
 		return err
 	}
@@ -258,7 +264,7 @@ func cmdStats(args []string) error {
 	if *arc == "" {
 		return fmt.Errorf("stats: -a is required")
 	}
-	r, err := store.OpenFile(*arc)
+	r, err := archive.Open(*arc)
 	if err != nil {
 		return err
 	}
@@ -272,13 +278,21 @@ func cmdStats(args []string) error {
 		}
 		raw += int64(len(buf))
 	}
-	fmt.Printf("documents:   %d\n", r.NumDocs())
-	fmt.Printf("codec:       %s\n", r.Codec())
-	fmt.Printf("dictionary:  %d bytes\n", r.DictLen())
-	fmt.Printf("archive:     %d bytes\n", r.Size())
+	st := r.Stats()
+	fmt.Printf("backend:     %s\n", st.Backend)
+	fmt.Printf("documents:   %d\n", st.NumDocs)
+	switch st.Backend {
+	case archive.RLZ:
+		fmt.Printf("codec:       %s\n", st.Codec)
+		fmt.Printf("dictionary:  %d bytes\n", st.DictLen)
+	case archive.Block:
+		fmt.Printf("algorithm:   %s\n", st.Algorithm)
+		fmt.Printf("blocks:      %d\n", st.NumBlocks)
+	}
+	fmt.Printf("archive:     %d bytes\n", st.Size)
 	fmt.Printf("decoded:     %d bytes\n", raw)
 	if raw > 0 {
-		fmt.Printf("ratio:       %.2f%%\n", 100*float64(r.Size())/float64(raw))
+		fmt.Printf("ratio:       %.2f%%\n", 100*float64(st.Size)/float64(raw))
 	}
 	return nil
 }
@@ -292,7 +306,7 @@ func cmdVerify(args []string) error {
 	if *arc == "" {
 		return fmt.Errorf("verify: -a is required")
 	}
-	r, err := store.OpenFile(*arc)
+	r, err := archive.Open(*arc)
 	if err != nil {
 		return err
 	}
@@ -304,6 +318,6 @@ func cmdVerify(args []string) error {
 			return fmt.Errorf("document %d: %w", id, err)
 		}
 	}
-	fmt.Printf("%s: %d documents decode cleanly\n", *arc, r.NumDocs())
+	fmt.Printf("%s: %d documents decode cleanly (%s backend)\n", *arc, r.NumDocs(), r.Stats().Backend)
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"rlz/internal/archive"
 	"rlz/internal/store"
 )
 
@@ -137,6 +138,72 @@ func TestGetAndCatArgErrors(t *testing.T) {
 	}
 	if err := cmdGet([]string{"-a", "/nonexistent.rlz", "-id", "0"}); err == nil {
 		t.Error("get on missing archive accepted")
+	}
+}
+
+// TestBuildEveryBackendEndToEnd is the CLI half of the acceptance
+// criteria: build with -backend {rlz,block,raw}, then get/verify/stats
+// work on each without being told the backend.
+func TestBuildEveryBackendEndToEnd(t *testing.T) {
+	dir, docs := writeDocs(t)
+	for _, backend := range []string{"rlz", "block", "raw"} {
+		arc := filepath.Join(t.TempDir(), "out."+backend)
+		args := []string{"-o", arc, "-backend", backend, "-dir", dir}
+		if backend == "block" {
+			args = append(args, "-block", "128B", "-alg", "zlib")
+		}
+		if err := cmdBuild(args); err != nil {
+			t.Fatalf("%s: build: %v", backend, err)
+		}
+		r, err := archive.Open(arc)
+		if err != nil {
+			t.Fatalf("%s: open: %v", backend, err)
+		}
+		if got := string(r.Stats().Backend); got != backend {
+			t.Fatalf("auto-detected %q, want %q", got, backend)
+		}
+		for i, want := range docs {
+			got, err := r.Get(i)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("%s: Get(%d): %q, %v", backend, i, got, err)
+			}
+		}
+		r.Close()
+		if err := cmdVerify([]string{"-a", arc}); err != nil {
+			t.Fatalf("%s: verify: %v", backend, err)
+		}
+		if err := cmdStats([]string{"-a", arc}); err != nil {
+			t.Fatalf("%s: stats: %v", backend, err)
+		}
+		if err := cmdGet([]string{"-a", arc, "-id", "3"}); err != nil {
+			t.Fatalf("%s: get: %v", backend, err)
+		}
+	}
+}
+
+func TestBuildBackendErrors(t *testing.T) {
+	dir, _ := writeDocs(t)
+	arc := filepath.Join(t.TempDir(), "x.arc")
+	if err := cmdBuild([]string{"-o", arc, "-backend", "zip", "-dir", dir}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if err := cmdBuild([]string{"-o", arc, "-backend", "block", "-alg", "brotli", "-dir", dir}); err == nil {
+		t.Error("unknown block algorithm accepted")
+	}
+	if err := cmdBuild([]string{"-o", arc, "-backend", "block", "-block", "wat", "-dir", dir}); err == nil {
+		t.Error("bad block size accepted")
+	}
+}
+
+// TestGrepRequiresRLZBackend: grep is a capability of the RLZ backend.
+func TestGrepRequiresRLZBackend(t *testing.T) {
+	dir, _ := writeDocs(t)
+	arc := filepath.Join(t.TempDir(), "out.raw")
+	if err := cmdBuild([]string{"-o", arc, "-backend", "raw", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGrep([]string{"-a", arc, "boilerplate"}); err == nil {
+		t.Error("grep on a raw archive accepted")
 	}
 }
 

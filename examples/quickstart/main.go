@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"log"
 
+	"rlz/internal/archive"
 	"rlz/internal/rlz"
-	"rlz/internal/store"
 )
 
 func main() {
@@ -53,32 +53,24 @@ func main() {
 	}
 	fmt.Printf("decode(factorize(doc)) == doc: %v\n\n", bytes.Equal(roundTrip, docs[1]))
 
-	// Steps 3-4: the archive container does the same for a whole
-	// collection and adds the document map for random access.
-	var archive bytes.Buffer
-	w, err := store.NewWriter(&archive, dictData, rlz.CodecZV)
+	// Steps 3-4: the archive layer does the same for a whole collection
+	// and adds the document map for random access. The same Build call
+	// with Backend: archive.Block or archive.Raw would produce the
+	// paper's baselines instead; OpenBytes auto-detects either way.
+	var buf bytes.Buffer
+	res, err := archive.Build(&buf, archive.FromBodies(docs),
+		archive.Options{Backend: archive.RLZ, Dict: dictData, Codec: rlz.CodecZV})
 	if err != nil {
-		log.Fatal(err)
-	}
-	for _, d := range docs {
-		if _, err := w.Append(d); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
 		log.Fatal(err)
 	}
 
-	r, err := store.OpenBytes(archive.Bytes())
+	r, err := archive.OpenBytes(buf.Bytes())
 	if err != nil {
 		log.Fatal(err)
 	}
-	var raw int
-	for _, d := range docs {
-		raw += len(d)
-	}
-	fmt.Printf("archive: %d docs, %d raw bytes -> %d bytes (codec %s)\n",
-		r.NumDocs(), raw, r.Size(), r.Codec())
+	st := r.Stats()
+	fmt.Printf("archive: %d docs, %d raw bytes -> %d bytes (backend %s, codec %s)\n",
+		st.NumDocs, res.RawBytes, st.Size, st.Backend, st.Codec)
 
 	// Random access: decode document 2 alone, without touching the rest.
 	doc2, err := r.Get(2)

@@ -16,9 +16,9 @@ import (
 	"strings"
 	"time"
 
+	"rlz/internal/archive"
 	"rlz/internal/corpus"
 	"rlz/internal/rlz"
-	"rlz/internal/store"
 	"rlz/internal/workload"
 )
 
@@ -26,20 +26,16 @@ func main() {
 	coll := corpus.Generate(corpus.Gov, 4<<20, 3)
 	dictData := rlz.SampleEven(coll.Bytes(), int(coll.TotalSize())/100, 1<<10)
 
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
 	var buf bytes.Buffer
-	w, err := store.NewWriter(&buf, dictData, rlz.CodecZV)
-	if err != nil {
+	if _, err := archive.Build(&buf, archive.FromBodies(bodies),
+		archive.Options{Backend: archive.RLZ, Dict: dictData, Codec: rlz.CodecZV}); err != nil {
 		log.Fatal(err)
 	}
-	for _, d := range coll.Docs {
-		if _, err := w.Append(d.Body); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		log.Fatal(err)
-	}
-	r, err := store.OpenBytes(buf.Bytes())
+	r, err := archive.OpenBytes(buf.Bytes())
 	if err != nil {
 		log.Fatal(err)
 	}

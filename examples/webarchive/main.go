@@ -1,7 +1,11 @@
-// Webarchive: compress a synthetic web crawl with RLZ and with the
-// blocked-zlib baseline, then compare archive sizes and random-access
-// retrieval — the paper's core comparison (Tables 4 and 6) as a runnable
-// program.
+// Webarchive: compress a synthetic web crawl with every backend — RLZ,
+// the blocked-zlib baseline, and the uncompressed ascii baseline — then
+// compare archive sizes and random-access retrieval: the paper's core
+// comparison (Tables 4 and 6) as a runnable program.
+//
+// Every archive is built through the unified archive layer's streaming,
+// parallel pipeline, and read back through archive.OpenBytes auto-
+// detection, so swapping backends is a one-field change.
 //
 // Run with:
 //
@@ -14,10 +18,9 @@ import (
 	"log"
 	"time"
 
-	"rlz/internal/blockstore"
+	"rlz/internal/archive"
 	"rlz/internal/corpus"
 	"rlz/internal/rlz"
-	"rlz/internal/store"
 	"rlz/internal/workload"
 )
 
@@ -27,94 +30,79 @@ func main() {
 	raw := coll.TotalSize()
 	fmt.Printf("crawl: %d documents, %.1f MB raw\n\n", coll.Len(), float64(raw)/(1<<20))
 
-	// RLZ archive: 1% dictionary, 1 KB samples, ZV pair coding.
-	dictData := rlz.SampleEven(coll.Bytes(), int(raw)/100, 1<<10)
-	var rlzBuf bytes.Buffer
-	w, err := store.NewWriter(&rlzBuf, dictData, rlz.CodecZV)
-	if err != nil {
-		log.Fatal(err)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
 	}
-	start := time.Now()
-	for _, d := range coll.Docs {
-		if _, err := w.Append(d.Body); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("rlz   : %5.2f%% of raw (dict %d KB), compressed in %v\n",
-		100*float64(rlzBuf.Len())/float64(raw), len(dictData)>>10,
-		time.Since(start).Round(time.Millisecond))
 
-	// Blocked zlib baseline, 256 KB blocks (the Lucene/Indri approach).
-	var blkBuf bytes.Buffer
-	bw, err := blockstore.NewWriter(&blkBuf, blockstore.Options{BlockSize: 256 << 10})
-	if err != nil {
-		log.Fatal(err)
+	// RLZ archive: 1% dictionary, 1 KB samples, ZV pair coding. The
+	// other backends need no dictionary.
+	dictData := rlz.SampleEven(coll.Bytes(), int(raw)/100, 1<<10)
+	backends := []struct {
+		name string
+		opts archive.Options
+	}{
+		{"rlz", archive.Options{Backend: archive.RLZ, Dict: dictData, Codec: rlz.CodecZV}},
+		{"zlib", archive.Options{Backend: archive.Block, BlockSize: 256 << 10}},
+		{"ascii", archive.Options{Backend: archive.Raw}},
 	}
-	start = time.Now()
-	for _, d := range coll.Docs {
-		if _, err := bw.Append(d.Body); err != nil {
+
+	archives := map[string][]byte{}
+	for _, b := range backends {
+		var buf bytes.Buffer
+		start := time.Now()
+		if _, err := archive.Build(&buf, archive.FromBodies(bodies), b.opts); err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("%-6s: %6.2f%% of raw, compressed in %v\n", b.name,
+			100*float64(buf.Len())/float64(raw), time.Since(start).Round(time.Millisecond))
+		archives[b.name] = buf.Bytes()
 	}
-	if err := bw.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("zlib  : %5.2f%% of raw (256 KB blocks), compressed in %v\n\n",
-		100*float64(blkBuf.Len())/float64(raw), time.Since(start).Round(time.Millisecond))
 
 	// Random access shoot-out: the same 2000 query-log style requests
-	// against both archives (pure CPU; the paper additionally pays disk
+	// against every archive (pure CPU; the paper additionally pays disk
 	// seeks, which hurt the blocked baseline even more).
-	rr, err := store.OpenBytes(rlzBuf.Bytes())
-	if err != nil {
-		log.Fatal(err)
-	}
-	br, err := blockstore.OpenBytes(blkBuf.Bytes())
-	if err != nil {
-		log.Fatal(err)
-	}
 	ids := workload.QueryLog(coll.Len(), 2000, 42)
-
-	var buf []byte
-	start = time.Now()
-	for _, id := range ids {
-		if buf, err = rr.GetAppend(buf[:0], id); err != nil {
-			log.Fatal(err)
-		}
-	}
-	rlzTime := time.Since(start)
-
-	start = time.Now()
-	for _, id := range ids {
-		if buf, err = br.GetAppend(buf[:0], id); err != nil {
-			log.Fatal(err)
-		}
-	}
-	blkTime := time.Since(start)
-
-	fmt.Printf("random access, %d requests:\n", len(ids))
-	fmt.Printf("  rlz : %8v  (%.0f docs/s)\n", rlzTime.Round(time.Millisecond),
-		float64(len(ids))/rlzTime.Seconds())
-	fmt.Printf("  zlib: %8v  (%.0f docs/s)\n", blkTime.Round(time.Millisecond),
-		float64(len(ids))/blkTime.Seconds())
-	fmt.Printf("  rlz is %.1fx faster at decode CPU alone\n", float64(blkTime)/float64(rlzTime))
-
-	// Spot-check correctness of both paths.
-	for _, id := range []int{0, coll.Len() / 2, coll.Len() - 1} {
-		a, err := rr.Get(id)
+	fmt.Printf("\nrandom access, %d requests:\n", len(ids))
+	times := map[string]time.Duration{}
+	for _, b := range backends {
+		r, err := archive.OpenBytes(archives[b.name])
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := br.Get(id)
+		if got := r.Stats().Backend; got != b.opts.Backend {
+			log.Fatalf("%s: auto-detected backend %s", b.name, got)
+		}
+		var buf []byte
+		start := time.Now()
+		for _, id := range ids {
+			if buf, err = r.GetAppend(buf[:0], id); err != nil {
+				log.Fatal(err)
+			}
+		}
+		times[b.name] = time.Since(start)
+		fmt.Printf("  %-5s: %8v  (%.0f docs/s)\n", b.name,
+			times[b.name].Round(time.Millisecond),
+			float64(len(ids))/times[b.name].Seconds())
+	}
+	fmt.Printf("  rlz is %.1fx faster than blocked zlib at decode CPU alone\n",
+		float64(times["zlib"])/float64(times["rlz"]))
+
+	// Spot-check correctness of every path.
+	for _, b := range backends {
+		r, err := archive.OpenBytes(archives[b.name])
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !bytes.Equal(a, coll.Docs[id].Body) || !bytes.Equal(b, coll.Docs[id].Body) {
-			log.Fatalf("document %d mismatch", id)
+		for _, id := range []int{0, coll.Len() / 2, coll.Len() - 1} {
+			got, err := r.Get(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bytes.Equal(got, coll.Docs[id].Body) {
+				log.Fatalf("%s: document %d mismatch", b.name, id)
+			}
 		}
 	}
-	fmt.Println("\nspot checks passed: both stores return identical documents")
+	fmt.Println("\nspot checks passed: every backend returns identical documents")
 }

@@ -1,0 +1,3 @@
+module rlz
+
+go 1.24

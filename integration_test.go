@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"rlz/internal/blockstore"
+	"rlz/internal/archive"
 	"rlz/internal/corpus"
 	"rlz/internal/rlz"
 	"rlz/internal/store"
@@ -66,8 +66,9 @@ func TestPipelineCrawlToArchive(t *testing.T) {
 	}
 }
 
-// TestPipelineParallelEqualsSequential checks the parallel builder against
-// the sequential writer on a full synthetic crawl.
+// TestPipelineParallelEqualsSequential checks the archive layer's
+// parallel builder against the backend's sequential writer on a full
+// synthetic crawl.
 func TestPipelineParallelEqualsSequential(t *testing.T) {
 	coll := corpus.Generate(corpus.Wiki, 1<<20, 78)
 	docs := make([][]byte, coll.Len())
@@ -91,7 +92,8 @@ func TestPipelineParallelEqualsSequential(t *testing.T) {
 	}
 
 	var par bytes.Buffer
-	if err := store.BuildParallel(&par, dict, rlz.CodecZZ, docs, 8); err != nil {
+	opts := archive.Options{Backend: archive.RLZ, Dict: dict, Codec: rlz.CodecZZ, Workers: 8}
+	if _, err := archive.Build(&par, archive.FromBodies(docs), opts); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
@@ -155,40 +157,28 @@ func TestPipelineRetrievalBeatsBaseline(t *testing.T) {
 	}
 	coll := corpus.Generate(corpus.Gov, 4<<20, 80)
 	raw := coll.TotalSize()
+	docs := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		docs[i] = d.Body
+	}
 
 	dict := rlz.SampleEven(coll.Bytes(), int(raw)/50, 1<<10)
 	var rlzBuf bytes.Buffer
-	w, err := store.NewWriter(&rlzBuf, dict, rlz.CodecZV)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, d := range coll.Docs {
-		if _, err := w.Append(d.Body); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
+	if _, err := archive.Build(&rlzBuf, archive.FromBodies(docs),
+		archive.Options{Backend: archive.RLZ, Dict: dict, Codec: rlz.CodecZV}); err != nil {
 		t.Fatal(err)
 	}
 	var blkBuf bytes.Buffer
-	bw, err := blockstore.NewWriter(&blkBuf, blockstore.Options{BlockSize: 256 << 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, d := range coll.Docs {
-		if _, err := bw.Append(d.Body); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := bw.Close(); err != nil {
+	if _, err := archive.Build(&blkBuf, archive.FromBodies(docs),
+		archive.Options{Backend: archive.Block, BlockSize: 256 << 10}); err != nil {
 		t.Fatal(err)
 	}
 
-	rr, err := store.OpenBytes(rlzBuf.Bytes())
+	rr, err := archive.OpenBytes(rlzBuf.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	br, err := blockstore.OpenBytes(blkBuf.Bytes())
+	br, err := archive.OpenBytes(blkBuf.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,242 @@
+// Package archive is the backend-neutral layer over this repository's
+// three document stores: RLZ archives (internal/store), block-compressed
+// baselines (internal/blockstore) and the uncompressed ascii baseline
+// (internal/rawstore). The paper's evaluation is a head-to-head between
+// exactly these backends, and every caller — the CLI, the experiment
+// harness, the examples — wants to build and read them interchangeably.
+//
+// The layer has four parts:
+//
+//   - Writer and Reader: the common build/access interface every backend
+//     implements. On-disk formats are owned by the backend packages and
+//     are byte-for-byte unchanged by going through this layer.
+//   - A format registry keyed by the 4-byte header magic, so Open and
+//     OpenBytes auto-detect which backend wrote an archive.
+//   - DocSource: a streaming document iterator, so collections are built
+//     from corpus walks, WARC files or generators without materializing
+//     a [][]byte of the whole collection.
+//   - Build: the streaming, parallel build pipeline (ordered commits via
+//     internal/pipeline), shared by all backends.
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Backend names one of the storage schemes the paper evaluates.
+type Backend string
+
+const (
+	// RLZ is the paper's contribution: documents factorized against a
+	// sampled static dictionary (internal/store).
+	RLZ Backend = "rlz"
+	// Block is the baseline of §2.2: fixed-size blocks, each compressed
+	// independently with an adaptive coder (internal/blockstore).
+	Block Backend = "block"
+	// Raw is the "ascii" baseline: uncompressed documents with a
+	// document map (internal/rawstore).
+	Raw Backend = "raw"
+)
+
+// Backends lists the registered backends in stable order.
+func Backends() []Backend {
+	out := make([]Backend, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.backend)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParseBackend resolves a backend name as used by the CLI's -backend flag.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case RLZ, Block, Raw:
+		return Backend(s), nil
+	}
+	return "", fmt.Errorf("archive: unknown backend %q (want rlz, block or raw)", s)
+}
+
+// Writer is the build side of a backend: append documents, close to
+// finalize the on-disk structure. Writers are not safe for concurrent
+// use; Build layers parallelism on top with ordered commits.
+type Writer interface {
+	// Append stores one document, returning its ID (sequential from 0).
+	Append(doc []byte) (int, error)
+	// NumDocs returns the number of documents appended so far.
+	NumDocs() int
+	// Close finalizes the archive (maps, footer). The underlying
+	// io.Writer is owned by the caller and is not closed.
+	Close() error
+}
+
+// Reader is the access side: random access to any document by ID.
+// Implementations are safe for concurrent use with distinct destination
+// buffers.
+type Reader interface {
+	// Get retrieves document id.
+	Get(id int) ([]byte, error)
+	// GetAppend retrieves document id, appending its text to dst — the
+	// zero-steady-state-allocation path.
+	GetAppend(dst []byte, id int) ([]byte, error)
+	// Extent returns the absolute archive extent a Get for id physically
+	// reads (the whole containing block for Block archives) — what the
+	// paper's disk model charges for.
+	Extent(id int) (off, n int64, err error)
+	// NumDocs returns the number of documents in the archive.
+	NumDocs() int
+	// Size returns the total archive size in bytes.
+	Size() int64
+	// Stats reports backend identity and backend-specific figures.
+	Stats() Stats
+	// Close releases the underlying file if the Reader owns one.
+	Close() error
+}
+
+// Stats describes an open archive. Backend-specific fields are zero for
+// the other backends.
+type Stats struct {
+	Backend Backend
+	NumDocs int
+	Size    int64
+
+	// RLZ archives.
+	DictLen int    // dictionary size in bytes
+	Codec   string // pair codec name (ZZ, ZV, ...)
+
+	// Block archives.
+	Algorithm string // block compressor name
+	NumBlocks int    // compressed block count
+}
+
+// Searcher is the optional compressed-domain search interface; only the
+// RLZ backend implements it (search runs over factors without full
+// decompression). Callers type-assert a Reader to Searcher.
+type Searcher interface {
+	// FindAll collects occurrences of pattern, up to limit (0 = all).
+	FindAll(pattern []byte, limit int) ([]Match, error)
+	// GetRange retrieves bytes [from, to) of document id without
+	// decoding the whole document.
+	GetRange(id, from, to int) ([]byte, error)
+}
+
+// Match locates one pattern occurrence: document ID and byte offset.
+type Match struct {
+	Doc    int
+	Offset int
+}
+
+// AsSearcher reports whether r supports compressed-domain search,
+// looking through file-owning wrappers (a plain type assertion would
+// miss the Searcher methods behind the Reader returned by Open).
+func AsSearcher(r Reader) (Searcher, bool) {
+	for {
+		if s, ok := r.(Searcher); ok {
+			return s, true
+		}
+		u, ok := r.(interface{ Unwrap() Reader })
+		if !ok {
+			return nil, false
+		}
+		r = u.Unwrap()
+	}
+}
+
+// OpenFunc opens one backend's archive from r covering size bytes.
+type OpenFunc func(r io.ReaderAt, size int64) (Reader, error)
+
+type entry struct {
+	magic   string
+	backend Backend
+	open    OpenFunc
+}
+
+var registry []entry
+
+// RegisterFormat adds a backend to the magic-dispatch table used by Open.
+// magic must be the archive's first 4 header bytes. Built-in backends
+// register themselves; future backends (new codecs, sharded stores) add
+// themselves here and every Open-based caller picks them up.
+func RegisterFormat(magic string, backend Backend, open OpenFunc) {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("archive: magic %q must be 4 bytes", magic))
+	}
+	for _, e := range registry {
+		if e.magic == magic {
+			panic(fmt.Sprintf("archive: magic %q registered twice", magic))
+		}
+	}
+	registry = append(registry, entry{magic: magic, backend: backend, open: open})
+}
+
+// ErrUnknownFormat is wrapped by Open when no registered backend claims
+// the archive's magic.
+var ErrUnknownFormat = fmt.Errorf("archive: unknown format")
+
+// OpenReaderAt auto-detects the backend from the header magic and opens
+// the archive.
+func OpenReaderAt(r io.ReaderAt, size int64) (Reader, error) {
+	var magic [4]byte
+	if size < int64(len(magic)) {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than any archive header", ErrUnknownFormat, size)
+	}
+	if _, err := r.ReadAt(magic[:], 0); err != nil {
+		return nil, fmt.Errorf("archive: reading magic: %w", err)
+	}
+	for _, e := range registry {
+		if string(magic[:]) == e.magic {
+			return e.open(r, size)
+		}
+	}
+	known := make([]string, 0, len(registry))
+	for _, e := range registry {
+		known = append(known, fmt.Sprintf("%q (%s)", e.magic, e.backend))
+	}
+	return nil, fmt.Errorf("%w: magic % x; known: %v", ErrUnknownFormat, magic, known)
+}
+
+// OpenBytes auto-detects and opens an archive held in memory.
+func OpenBytes(data []byte) (Reader, error) {
+	return OpenReaderAt(bytes.NewReader(data), int64(len(data)))
+}
+
+// fileReader owns the file backing a Reader opened by Open.
+type fileReader struct {
+	Reader
+	f *os.File
+}
+
+// Unwrap exposes the backend reader, e.g. for AsSearcher.
+func (r *fileReader) Unwrap() Reader { return r.Reader }
+
+func (r *fileReader) Close() error {
+	err := r.Reader.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Open opens an archive file, auto-detecting its backend. Close the
+// Reader to release the file.
+func Open(path string) (Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd, err := OpenReaderAt(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileReader{Reader: rd, f: f}, nil
+}

@@ -1,0 +1,205 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"rlz/internal/blockstore"
+	"rlz/internal/lz77"
+	"rlz/internal/pipeline"
+	"rlz/internal/rawstore"
+	"rlz/internal/rlz"
+	"rlz/internal/store"
+)
+
+// Options selects and configures a backend for building. Fields outside
+// the chosen backend's section are ignored.
+type Options struct {
+	// Backend selects the storage scheme; the zero value means RLZ.
+	Backend Backend
+
+	// RLZ: the sampled dictionary (required; see SampleDict) and the
+	// position-length pair codec (zero value means ZV, the paper's
+	// best general-purpose choice).
+	Dict  []byte
+	Codec rlz.PairCodec
+
+	// Block: uncompressed block capacity (0 = one document per block),
+	// compressor, and LZ77 tuning for the lzma stand-in.
+	BlockSize int
+	Algorithm blockstore.Algorithm
+	LZ77      lz77.Options
+
+	// Workers bounds build concurrency for every backend: 0 means
+	// GOMAXPROCS, 1 forces a fully sequential build. Archives are
+	// byte-identical at any worker count — RLZ parallelizes per
+	// document, Block per block, and commits stay ordered.
+	Workers int
+}
+
+func (o Options) backend() Backend {
+	if o.Backend == "" {
+		return RLZ
+	}
+	return o.Backend
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// NewWriter starts an archive of the chosen backend on w. Block-backend
+// writers compress blocks on opts.Workers goroutines internally; RLZ
+// writers returned here append sequentially (Build adds the per-document
+// parallel pipeline on top).
+func NewWriter(w io.Writer, opts Options) (Writer, error) {
+	switch opts.backend() {
+	case RLZ:
+		codec := opts.Codec
+		if codec == (rlz.PairCodec{}) {
+			codec = rlz.CodecZV
+		}
+		sw, err := store.NewWriter(w, opts.Dict, codec)
+		if err != nil {
+			return nil, err
+		}
+		return rlzWriter{sw}, nil
+	case Block:
+		bw, err := blockstore.NewWriter(w, blockstore.Options{
+			BlockSize: opts.BlockSize,
+			Algorithm: opts.Algorithm,
+			LZ77:      opts.LZ77,
+			Workers:   opts.workers(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return blockWriter{bw}, nil
+	case Raw:
+		rw, err := rawstore.NewWriter(w)
+		if err != nil {
+			return nil, err
+		}
+		return rawWriter{rw}, nil
+	}
+	return nil, fmt.Errorf("archive: unknown backend %q", opts.Backend)
+}
+
+// BuildResult summarizes a finished build.
+type BuildResult struct {
+	Docs     int   // documents written
+	RawBytes int64 // uncompressed bytes consumed
+}
+
+// Build streams src into a complete archive on w. This is the one build
+// pipeline all backends share: documents are never materialized as a
+// whole, and the expensive per-unit work (RLZ factorization, block
+// compression) runs on opts.Workers goroutines with commits in document
+// order, so the output is byte-for-byte identical to a sequential build
+// — the compression-side scalability §3.2 advertises.
+func Build(w io.Writer, src DocSource, opts Options) (BuildResult, error) {
+	aw, err := NewWriter(w, opts)
+	if err != nil {
+		return BuildResult{}, err
+	}
+	res, err := build(aw, src, opts)
+	if err != nil {
+		// Failed builds still close the writer so backend pipelines
+		// drain their goroutines; the archive bytes are garbage either
+		// way (Create deletes the file).
+		aw.Close()
+		if c, ok := src.(io.Closer); ok {
+			c.Close()
+		}
+		return res, err
+	}
+	if c, ok := src.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil {
+			return res, cerr
+		}
+	}
+	return res, nil
+}
+
+func build(aw Writer, src DocSource, opts Options) (BuildResult, error) {
+	var res BuildResult
+
+	if rw, ok := aw.(rlzWriter); ok && opts.workers() > 1 {
+		// RLZ fast path: the dictionary is immutable during the build,
+		// so factorize+encode parallelizes per document.
+		dict, codec := rw.Dictionary(), rw.Codec()
+		pipe := pipeline.NewOrdered(opts.workers(),
+			func(doc []byte) ([]byte, error) {
+				return codec.Encode(nil, dict.Factorize(doc, nil)), nil
+			},
+			func(rec []byte) error {
+				_, err := rw.AppendEncoded(rec)
+				return err
+			})
+		var srcErr error
+		for {
+			d, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				srcErr = err
+				break
+			}
+			res.Docs++
+			res.RawBytes += int64(len(d.Body))
+			if pipe.Submit(d.Body) != nil {
+				break // pipeline failed; Close reports the first error
+			}
+		}
+		if err := pipe.Close(); err != nil {
+			return res, err
+		}
+		if srcErr != nil {
+			return res, srcErr
+		}
+		return res, aw.Close()
+	}
+
+	for {
+		d, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		if _, err := aw.Append(d.Body); err != nil {
+			if d.Name != "" {
+				return res, fmt.Errorf("appending %s: %w", d.Name, err)
+			}
+			return res, fmt.Errorf("appending document %d: %w", res.Docs, err)
+		}
+		res.Docs++
+		res.RawBytes += int64(len(d.Body))
+	}
+	return res, aw.Close()
+}
+
+// Create builds an archive file from src, replacing any existing file at
+// path.
+func Create(path string, src DocSource, opts Options) (BuildResult, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return BuildResult{}, err
+	}
+	res, err := Build(f, src, opts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package archive
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestBuildFailureLeavesNoGoroutines: a failing sink must not leak the
+// block backend's compression pipeline (Build closes the writer on every
+// error path).
+func TestBuildFailureLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	docs := makeDocs(80, 31)
+	for backend, opts := range optionsFor(t, docs) {
+		opts.Workers = 4
+		for i := 0; i < 10; i++ {
+			if _, err := Build(&failAfterWriter{n: 1024}, FromBodies(docs), opts); err == nil {
+				t.Fatalf("%s: write error swallowed", backend)
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after 30 failed builds", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,132 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rlz/internal/rlz"
+	"rlz/internal/warc"
+)
+
+func drain(t *testing.T, src DocSource) []Doc {
+	t.Helper()
+	var out []Doc
+	for {
+		d, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+}
+
+func TestFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		body := []byte(fmt.Sprintf("file body %d", i))
+		p := filepath.Join(dir, fmt.Sprintf("f%d.txt", i))
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+		want = append(want, body)
+	}
+	docs := drain(t, FromFiles(paths))
+	if len(docs) != len(want) {
+		t.Fatalf("streamed %d docs, want %d", len(docs), len(want))
+	}
+	for i, d := range docs {
+		if d.Name != paths[i] || !bytes.Equal(d.Body, want[i]) {
+			t.Fatalf("doc %d = %q %q", i, d.Name, d.Body)
+		}
+	}
+
+	if _, err := FromFiles([]string{"/nonexistent"}).Next(); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFromWARC(t *testing.T) {
+	recs := []warc.Record{
+		{URL: "http://a/1", Body: []byte("alpha")},
+		{URL: "http://a/2", Body: []byte("beta")},
+	}
+	path := filepath.Join(t.TempDir(), "c.warc")
+	if err := warc.WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	src, err := FromWARC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := drain(t, src)
+	if len(docs) != 2 || docs[0].Name != "http://a/1" || string(docs[1].Body) != "beta" {
+		t.Fatalf("streamed %+v", docs)
+	}
+	// A second Next after EOF stays EOF (file already closed).
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v", err)
+	}
+}
+
+// TestSampleDictMatchesSampleEven pins the streaming sampler against the
+// reference in-memory implementation across parameter shapes.
+func TestSampleDictMatchesSampleEven(t *testing.T) {
+	docs := makeDocs(37, 9)
+	var collection []byte
+	for _, d := range docs {
+		collection = append(collection, d...)
+	}
+	openSrc := func() (DocSource, error) { return FromBodies(docs), nil }
+	for _, tc := range []struct{ dictSize, sampleSize int }{
+		{256, 64},
+		{1024, 100},
+		{len(collection) / 10, 128},
+		{len(collection) + 5, 1024}, // dict covers the whole collection
+		{100, 0},                    // default sample size
+		{7, 1000},                   // sampleSize > dictSize
+	} {
+		want := rlz.SampleEven(collection, tc.dictSize, tc.sampleSize)
+		got, total, err := SampleDict(openSrc, tc.dictSize, tc.sampleSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != int64(len(collection)) {
+			t.Errorf("dict=%d samp=%d: total %d, want %d", tc.dictSize, tc.sampleSize, total, len(collection))
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("dict=%d samp=%d: streamed dictionary differs from SampleEven (%d vs %d bytes)",
+				tc.dictSize, tc.sampleSize, len(got), len(want))
+		}
+	}
+}
+
+// TestSampleDictDefaultBudget checks the 1%-with-floor default.
+func TestSampleDictDefaultBudget(t *testing.T) {
+	docs := makeDocs(30, 10)
+	var total int
+	for _, d := range docs {
+		total += len(d)
+	}
+	openSrc := func() (DocSource, error) { return FromBodies(docs), nil }
+	dict, _, err := SampleDict(openSrc, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := total / 100
+	if want < 4096 {
+		want = 4096
+	}
+	if len(dict) != min(want, total) {
+		t.Errorf("default dictionary %d bytes, want %d", len(dict), min(want, total))
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"rlz/internal/coding"
 	"rlz/internal/docmap"
 	"rlz/internal/lz77"
+	"rlz/internal/pipeline"
 )
 
 // Algorithm selects the per-block compressor.
@@ -74,6 +75,10 @@ type Options struct {
 	Algorithm Algorithm
 	// LZ77 tunes the LZ77 algorithm; ignored for Zlib.
 	LZ77 lz77.Options
+	// Workers sets the number of concurrent block compressors; values
+	// below 2 compress synchronously. Blocks are committed in order, so
+	// the archive bytes are identical at any worker count.
+	Workers int
 }
 
 func (o Options) algorithm() Algorithm {
@@ -92,12 +97,15 @@ type docLoc struct {
 
 // Writer builds a blocked archive.
 type Writer struct {
-	w      countingWriter
-	opt    Options
-	blocks *docmap.Map // extents of compressed blocks
-	docs   []docLoc
-	cur    []byte // current uncompressed block
-	closed bool
+	w         countingWriter
+	opt       Options
+	blocks    *docmap.Map // extents of compressed blocks
+	docs      []docLoc
+	cur       []byte // current uncompressed block
+	numBlocks int    // blocks cut so far (flushed or in flight)
+	pipe      *pipeline.Ordered[[]byte, []byte]
+	closed    bool
+	closeErr  error
 }
 
 type countingWriter struct {
@@ -119,6 +127,17 @@ func NewWriter(w io.Writer, opt Options) (*Writer, error) {
 	if _, err := bw.w.Write(hdr); err != nil {
 		return nil, fmt.Errorf("blockstore: writing header: %w", err)
 	}
+	if opt.Workers > 1 {
+		bw.pipe = pipeline.NewOrdered(opt.Workers,
+			func(block []byte) ([]byte, error) { return compressBlock(opt, block) },
+			func(comp []byte) error {
+				if _, err := bw.w.Write(comp); err != nil {
+					return fmt.Errorf("blockstore: writing block: %w", err)
+				}
+				bw.blocks.Append(uint64(len(comp)))
+				return nil
+			})
+	}
 	return bw, nil
 }
 
@@ -130,7 +149,7 @@ func (w *Writer) Append(doc []byte) (int, error) {
 	}
 	id := len(w.docs)
 	w.docs = append(w.docs, docLoc{
-		block:  uint32(w.blocks.Len()),
+		block:  uint32(w.numBlocks),
 		offset: uint32(len(w.cur)),
 		length: uint32(len(doc)),
 	})
@@ -146,29 +165,45 @@ func (w *Writer) Append(doc []byte) (int, error) {
 	return id, nil
 }
 
-func (w *Writer) flushBlock() error {
-	if len(w.cur) == 0 {
-		return nil
-	}
-	var comp []byte
-	switch w.opt.algorithm() {
+// compressBlock compresses one block with the configured algorithm. It is
+// a pure function of its inputs, safe for concurrent use by the parallel
+// build pipeline.
+func compressBlock(opt Options, block []byte) ([]byte, error) {
+	switch opt.algorithm() {
 	case Zlib:
 		var buf bytes.Buffer
 		zw, err := zlib.NewWriterLevel(&buf, zlib.BestCompression)
 		if err != nil {
-			return fmt.Errorf("blockstore: %w", err)
+			return nil, fmt.Errorf("blockstore: %w", err)
 		}
-		if _, err := zw.Write(w.cur); err != nil {
-			return fmt.Errorf("blockstore: %w", err)
+		if _, err := zw.Write(block); err != nil {
+			return nil, fmt.Errorf("blockstore: %w", err)
 		}
 		if err := zw.Close(); err != nil {
-			return fmt.Errorf("blockstore: %w", err)
+			return nil, fmt.Errorf("blockstore: %w", err)
 		}
-		comp = buf.Bytes()
+		return buf.Bytes(), nil
 	case LZ77:
-		comp = lz77.Compress(nil, w.cur, w.opt.LZ77)
+		return lz77.Compress(nil, block, opt.LZ77), nil
 	default:
-		return fmt.Errorf("blockstore: unknown algorithm %q", w.opt.Algorithm)
+		return nil, fmt.Errorf("blockstore: unknown algorithm %q", opt.Algorithm)
+	}
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	w.numBlocks++
+	if w.pipe != nil {
+		block := make([]byte, len(w.cur))
+		copy(block, w.cur)
+		w.cur = w.cur[:0]
+		return w.pipe.Submit(block)
+	}
+	comp, err := compressBlock(w.opt, w.cur)
+	if err != nil {
+		return err
 	}
 	if _, err := w.w.Write(comp); err != nil {
 		return fmt.Errorf("blockstore: writing block: %w", err)
@@ -181,13 +216,23 @@ func (w *Writer) flushBlock() error {
 // NumDocs returns the number of documents appended so far.
 func (w *Writer) NumDocs() int { return len(w.docs) }
 
-// Close flushes the final block and writes the maps and footer.
+// Close flushes the final block and writes the maps and footer. It
+// always drains the parallel compression pipeline, even after an error,
+// so no goroutines outlive the writer; repeated Closes report the same
+// error.
 func (w *Writer) Close() error {
 	if w.closed {
-		return nil
+		return w.closeErr
 	}
 	w.closed = true
-	if err := w.flushBlock(); err != nil {
+	err := w.flushBlock()
+	if w.pipe != nil {
+		if perr := w.pipe.Close(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		w.closeErr = err
 		return err
 	}
 	mapOff := w.w.n
@@ -204,7 +249,8 @@ func (w *Writer) Close() error {
 	tail = coding.PutU64(tail, uint64(mapOff))
 	tail = append(tail, footerMagic...)
 	if _, err := w.w.Write(tail); err != nil {
-		return fmt.Errorf("blockstore: writing footer: %w", err)
+		w.closeErr = fmt.Errorf("blockstore: writing footer: %w", err)
+		return w.closeErr
 	}
 	return nil
 }
@@ -328,6 +374,9 @@ func (r *Reader) NumDocs() int { return len(r.docs) }
 
 // Algorithm returns the block compressor used by the archive.
 func (r *Reader) Algorithm() Algorithm { return r.alg }
+
+// NumBlocks returns the number of compressed blocks in the archive.
+func (r *Reader) NumBlocks() int { return r.blocks.Len() }
 
 // Size returns the total archive size in bytes.
 func (r *Reader) Size() int64 { return r.size }

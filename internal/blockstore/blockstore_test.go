@@ -2,11 +2,14 @@ package blockstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 )
 
 func makeDocs(n int, seed int64) [][]byte {
@@ -229,4 +232,88 @@ func TestGetOutOfRange(t *testing.T) {
 			t.Errorf("Get(%d) accepted", id)
 		}
 	}
+}
+
+// TestParallelWritersMatchSequential pins the Workers option: any worker
+// count produces byte-identical archives, for both algorithms.
+func TestParallelWritersMatchSequential(t *testing.T) {
+	docs := makeDocs(90, 21)
+	for _, alg := range []Algorithm{Zlib, LZ77} {
+		seq := build(t, docs, Options{BlockSize: 700, Algorithm: alg})
+		for _, workers := range []int{2, 5, 16} {
+			par := build(t, docs, Options{BlockSize: 700, Algorithm: alg, Workers: workers})
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("%s workers=%d: parallel archive differs from sequential (%d vs %d bytes)",
+					alg, workers, len(par), len(seq))
+			}
+		}
+		verifyAll(t, seq, docs, alg.String())
+	}
+}
+
+// TestParallelWriterPropagatesWriteError: a failing sink surfaces at
+// Close (commits happen on the pipeline goroutine).
+func TestParallelWriterPropagatesWriteError(t *testing.T) {
+	docs := makeDocs(60, 22)
+	w, err := NewWriter(&failingWriter{limit: 512}, Options{BlockSize: 256, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for _, d := range docs {
+		if _, err := w.Append(d); err != nil {
+			failed = true
+			break
+		}
+	}
+	if err := w.Close(); err == nil && !failed {
+		t.Fatal("write error swallowed by parallel writer")
+	}
+}
+
+type failingWriter struct {
+	limit int
+	seen  int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.seen += len(p)
+	if f.seen > f.limit {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestParallelWriterCloseDrainsAfterError: Close must drain the pipeline
+// even when flushing failed, so no worker goroutines outlive the writer,
+// and repeated Closes must keep reporting the failure.
+func TestParallelWriterCloseDrainsAfterError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	docs := makeDocs(60, 23)
+	for i := 0; i < 10; i++ {
+		w, err := NewWriter(&failingWriter{limit: 512}, Options{BlockSize: 256, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range docs {
+			if _, err := w.Append(d); err != nil {
+				break
+			}
+		}
+		if err := w.Close(); err == nil {
+			t.Fatal("Close swallowed the sink error")
+		}
+		if err := w.Close(); err == nil {
+			t.Fatal("second Close reported success after a failed build")
+		}
+	}
+	// Workers exit asynchronously after the drain; give them a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after 10 failed builds", before, runtime.NumGoroutine())
 }

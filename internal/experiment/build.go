@@ -4,22 +4,23 @@ import (
 	"bytes"
 	"time"
 
+	"rlz/internal/archive"
 	"rlz/internal/blockstore"
 	"rlz/internal/corpus"
 	"rlz/internal/disksim"
-	"rlz/internal/rawstore"
 	"rlz/internal/rlz"
 	"rlz/internal/store"
 	"rlz/internal/workload"
 )
 
-// reader is the access interface every store in this repository satisfies;
-// it is exactly what the retrieval measurements need.
-type reader interface {
-	NumDocs() int
-	GetAppend(dst []byte, id int) ([]byte, error)
-	Extent(id int) (off, n int64, err error)
-	Size() int64
+// collSource streams a generated collection through the archive layer's
+// build pipeline.
+func collSource(c *corpus.Collection) archive.DocSource {
+	docs := make([]archive.Doc, c.Len())
+	for i, d := range c.Docs {
+		docs[i] = archive.Doc{Name: d.URL, Body: d.Body}
+	}
+	return archive.FromDocs(docs)
 }
 
 // buildRLZ factorizes the collection once against dictData and returns the
@@ -45,8 +46,11 @@ func buildRLZ(c *corpus.Collection, dictData []byte, collect bool) (*rlz.Diction
 }
 
 // encodeRLZArchive assembles an in-memory RLZ archive from an existing
-// factorization, avoiding a refactorization per codec.
-func encodeRLZArchive(dictData []byte, perDoc [][]rlz.Factor, codec rlz.PairCodec) (*store.Reader, error) {
+// factorization, avoiding a refactorization per codec. This prefactored
+// fast path is specific to the RLZ backend (the paper's ZZ/ZV/UZ/UV grid
+// shares one factorization pass), so it drops to internal/store directly
+// and re-enters the unified layer through archive.OpenBytes.
+func encodeRLZArchive(dictData []byte, perDoc [][]rlz.Factor, codec rlz.PairCodec) (archive.Reader, error) {
 	var buf bytes.Buffer
 	w, err := store.NewWriterPrefactored(&buf, dictData, codec)
 	if err != nil {
@@ -60,43 +64,32 @@ func encodeRLZArchive(dictData []byte, perDoc [][]rlz.Factor, codec rlz.PairCode
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return store.OpenBytes(buf.Bytes())
+	return archive.OpenBytes(buf.Bytes())
 }
 
-// buildBlocked builds an in-memory blocked archive over the collection.
-func buildBlocked(c *corpus.Collection, opt blockstore.Options) (*blockstore.Reader, error) {
+// buildBlocked builds an in-memory blocked archive over the collection
+// through the unified build pipeline.
+func buildBlocked(c *corpus.Collection, opt blockstore.Options) (archive.Reader, error) {
 	var buf bytes.Buffer
-	w, err := blockstore.NewWriter(&buf, opt)
+	_, err := archive.Build(&buf, collSource(c), archive.Options{
+		Backend:   archive.Block,
+		BlockSize: opt.BlockSize,
+		Algorithm: opt.Algorithm,
+		LZ77:      opt.LZ77,
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range c.Docs {
-		if _, err := w.Append(d.Body); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return blockstore.OpenBytes(buf.Bytes())
+	return archive.OpenBytes(buf.Bytes())
 }
 
 // buildRaw builds the uncompressed baseline archive.
-func buildRaw(c *corpus.Collection) (*rawstore.Reader, error) {
+func buildRaw(c *corpus.Collection) (archive.Reader, error) {
 	var buf bytes.Buffer
-	w, err := rawstore.NewWriter(&buf)
-	if err != nil {
+	if _, err := archive.Build(&buf, collSource(c), archive.Options{Backend: archive.Raw}); err != nil {
 		return nil, err
 	}
-	for _, d := range c.Docs {
-		if _, err := w.Append(d.Body); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return rawstore.OpenBytes(buf.Bytes())
+	return archive.OpenBytes(buf.Bytes())
 }
 
 // retrieval measures the two access patterns of §4 against a store,
@@ -105,7 +98,7 @@ func buildRaw(c *corpus.Collection) (*rawstore.Reader, error) {
 // uncompressed collection size; the modeled disk spans twice that for
 // every store, so smaller archives cluster nearer the platter start and
 // enjoy shorter seeks, as on the paper's dedicated test disk.
-func retrieval(r reader, cfg Config, rawSpan int64) (seqRate, qlogRate float64, err error) {
+func retrieval(r archive.Reader, cfg Config, rawSpan int64) (seqRate, qlogRate float64, err error) {
 	seq := workload.Sequential(r.NumDocs(), cfg.SeqRequests)
 	qlog := workload.QueryLog(r.NumDocs(), cfg.QlogRequests, cfg.Seed)
 	seqRate, err = measure(r, seq, rawSpan)
@@ -116,7 +109,7 @@ func retrieval(r reader, cfg Config, rawSpan int64) (seqRate, qlogRate float64, 
 	return seqRate, qlogRate, err
 }
 
-func measure(r reader, ids []int, rawSpan int64) (float64, error) {
+func measure(r archive.Reader, ids []int, rawSpan int64) (float64, error) {
 	disk := disksim.New(2 * rawSpan)
 	var diskTime time.Duration
 	var buf []byte

@@ -1,0 +1,126 @@
+// Package pipeline provides an ordered parallel encode/commit pipeline:
+// items are encoded concurrently across worker goroutines while a single
+// committer applies the results strictly in submission order.
+//
+// This is the shape shared by every parallel archive build in this
+// repository: the expensive step (RLZ factorization, block compression)
+// is embarrassingly parallel, but the output container requires records
+// in document order. A bounded reorder window keeps memory proportional
+// to the worker count, never the collection size, so builds stream.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Ordered runs encode over submitted items on parallel workers and hands
+// each result to commit in submission order. encode must be safe for
+// concurrent use; commit is always called from a single goroutine.
+//
+// After the first encode or commit error the pipeline stops committing
+// but keeps draining, so Submit never deadlocks; the first error is
+// returned by Close (and by Submit, as a hint to stop early).
+type Ordered[T, U any] struct {
+	jobs    chan job[T]
+	results chan result[U]
+	wg      sync.WaitGroup
+	done    chan struct{}
+	seq     int
+	closed  bool
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+type job[T any] struct {
+	seq int
+	v   T
+}
+
+type result[U any] struct {
+	seq int
+	v   U
+	err error
+}
+
+// NewOrdered starts a pipeline with the given worker count (0 means
+// GOMAXPROCS). Callers must Close it to drain workers and collect errors.
+func NewOrdered[T, U any](workers int, encode func(T) (U, error), commit func(U) error) *Ordered[T, U] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := 2 * workers
+	o := &Ordered[T, U]{
+		jobs:    make(chan job[T], window),
+		results: make(chan result[U], window),
+		done:    make(chan struct{}),
+	}
+	o.wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer o.wg.Done()
+			for j := range o.jobs {
+				v, err := encode(j.v)
+				o.results <- result[U]{seq: j.seq, v: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(o.done)
+		pending := make(map[int]result[U], window)
+		next := 0
+		for r := range o.results {
+			pending[r.seq] = r
+			for p, ok := pending[next]; ok; p, ok = pending[next] {
+				delete(pending, next)
+				if err := p.err; err == nil && o.err() == nil {
+					err = commit(p.v)
+					if err != nil {
+						o.fail(err)
+					}
+				} else if err != nil {
+					o.fail(err)
+				}
+				next++
+			}
+		}
+	}()
+	return o
+}
+
+func (o *Ordered[T, U]) err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.firstErr
+}
+
+func (o *Ordered[T, U]) fail(err error) {
+	o.mu.Lock()
+	if o.firstErr == nil {
+		o.firstErr = err
+	}
+	o.mu.Unlock()
+}
+
+// Submit enqueues one item, blocking while the reorder window is full.
+// A non-nil return means the pipeline has already failed; the item was
+// still enqueued, so Close remains mandatory.
+func (o *Ordered[T, U]) Submit(v T) error {
+	o.jobs <- job[T]{seq: o.seq, v: v}
+	o.seq++
+	return o.err()
+}
+
+// Close drains the pipeline and returns the first encode or commit error.
+// It is idempotent.
+func (o *Ordered[T, U]) Close() error {
+	if !o.closed {
+		o.closed = true
+		close(o.jobs)
+		o.wg.Wait()
+		close(o.results)
+		<-o.done
+	}
+	return o.err()
+}

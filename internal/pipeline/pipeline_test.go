@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestOrderedPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 0} {
+		var got []int
+		o := NewOrdered(workers,
+			func(v int) (int, error) { return v * v, nil },
+			func(v int) error { got = append(got, v); return nil })
+		for i := 0; i < 500; i++ {
+			if err := o.Submit(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := o.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 500 {
+			t.Fatalf("workers=%d: committed %d of 500", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestOrderedEncodeError(t *testing.T) {
+	boom := errors.New("boom")
+	var committed int
+	o := NewOrdered(4,
+		func(v int) (int, error) {
+			if v == 20 {
+				return 0, boom
+			}
+			return v, nil
+		},
+		func(v int) error { committed++; return nil })
+	for i := 0; i < 100; i++ {
+		o.Submit(i)
+	}
+	if err := o.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+	if committed > 20 {
+		t.Errorf("committed %d items past the failure point", committed-20)
+	}
+}
+
+func TestOrderedCommitError(t *testing.T) {
+	var committed int
+	o := NewOrdered(4,
+		func(v int) (int, error) { return v, nil },
+		func(v int) error {
+			if v == 10 {
+				return fmt.Errorf("disk full at %d", v)
+			}
+			committed++
+			return nil
+		})
+	for i := 0; i < 50; i++ {
+		o.Submit(i)
+	}
+	if err := o.Close(); err == nil {
+		t.Fatal("commit error swallowed")
+	}
+	if committed != 10 {
+		t.Errorf("committed %d items, want 10", committed)
+	}
+}
+
+func TestOrderedCloseIdempotent(t *testing.T) {
+	o := NewOrdered(2,
+		func(v int) (int, error) { return v, nil },
+		func(v int) error { return nil })
+	o.Submit(1)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedEmpty(t *testing.T) {
+	o := NewOrdered(3,
+		func(v int) (int, error) { return v, nil },
+		func(v int) error { t.Error("commit on empty pipeline"); return nil })
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -169,6 +169,105 @@ func samplePortion(collection []byte, n, dictSize, sampleSize int) []byte {
 	return out
 }
 
+// EvenSampler builds dictionary text incrementally from a streamed
+// collection, producing exactly the bytes SampleEven would for the same
+// parameters — without the collection ever being resident. The total
+// collection length must be known up front (§3.3 spaces samples evenly
+// over the whole string), so callers typically make one cheap pass to
+// measure and a second to sample.
+type EvenSampler struct {
+	out   []byte
+	slots []sampleSlot
+	pos   int64 // absolute stream position consumed so far
+	first int   // index of the first slot not yet fully filled
+	whole bool  // dictSize >= totalLen: copy the entire stream
+}
+
+// sampleSlot is one sample's source extent and destination offset.
+type sampleSlot struct {
+	start, end int64
+	dst        int
+}
+
+// NewEvenSampler prepares a sampler for a collection of totalLen bytes.
+// The parameters have the same meaning and defaults as SampleEven.
+func NewEvenSampler(totalLen int64, dictSize, sampleSize int) *EvenSampler {
+	s := &EvenSampler{}
+	if totalLen <= 0 || dictSize <= 0 {
+		return s
+	}
+	if sampleSize <= 0 {
+		sampleSize = 1024
+	}
+	if int64(dictSize) >= totalLen {
+		s.whole = true
+		s.slots = []sampleSlot{{start: 0, end: totalLen}}
+		s.out = make([]byte, 0, totalLen)
+		return s
+	}
+	numSamples := dictSize / sampleSize
+	if numSamples == 0 {
+		numSamples = 1
+		sampleSize = dictSize
+	}
+	var total int
+	s.slots = make([]sampleSlot, numSamples)
+	for i := range s.slots {
+		start := int64(i) * totalLen / int64(numSamples)
+		end := start + int64(sampleSize)
+		if end > totalLen {
+			end = totalLen
+		}
+		s.slots[i] = sampleSlot{start: start, end: end, dst: total}
+		total += int(end - start)
+	}
+	s.out = make([]byte, total)
+	return s
+}
+
+// Write consumes the next chunk of the collection stream, copying the
+// portions that fall inside a sample. It never fails; the error is for
+// io.Writer conformance.
+func (s *EvenSampler) Write(p []byte) (int, error) {
+	lo, hi := s.pos, s.pos+int64(len(p))
+	// Whole-collection copy (dictSize >= totalLen) appends verbatim.
+	if s.whole {
+		if lo < s.slots[0].end {
+			take := s.slots[0].end - lo
+			if take > int64(len(p)) {
+				take = int64(len(p))
+			}
+			s.out = append(s.out, p[:take]...)
+		}
+		s.pos = hi
+		return len(p), nil
+	}
+	for s.first < len(s.slots) && s.slots[s.first].end <= lo {
+		s.first++
+	}
+	for i := s.first; i < len(s.slots) && s.slots[i].start < hi; i++ {
+		sl := s.slots[i]
+		from, to := sl.start, sl.end
+		if from < lo {
+			from = lo
+		}
+		if to > hi {
+			to = hi
+		}
+		if from >= to {
+			continue
+		}
+		copy(s.out[sl.dst+int(from-sl.start):], p[from-lo:to-lo])
+	}
+	s.pos = hi
+	return len(p), nil
+}
+
+// Bytes returns the sampled dictionary text. Positions never streamed
+// through Write remain zero bytes; feed the full collection for a result
+// identical to SampleEven.
+func (s *EvenSampler) Bytes() []byte { return s.out }
+
 // SampleHead returns the first dictSize bytes of the collection. It exists
 // as the ablation baseline for SampleEven: a head-only dictionary misses
 // content that drifts over the collection, which is what Table 10's prefix

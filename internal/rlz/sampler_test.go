@@ -1,0 +1,54 @@
+package rlz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEvenSamplerMatchesSampleEven streams the same collection in varied
+// chunk sizes and checks the result is byte-identical to SampleEven.
+func TestEvenSamplerMatchesSampleEven(t *testing.T) {
+	collection := make([]byte, 40000)
+	for i := range collection {
+		collection[i] = byte(i*31 + i/97)
+	}
+	for _, tc := range []struct{ dictSize, sampleSize, chunk int }{
+		{4000, 512, 1},     // byte-at-a-time stream
+		{4000, 512, 7777},  // chunks that straddle sample windows
+		{4000, 512, 40000}, // one big write
+		{50000, 1024, 333}, // dict >= collection: whole copy
+		{100, 0, 97},       // default sample size
+		{9, 4096, 100},     // numSamples rounds to zero
+		{4000, 512, 513},   // chunk just past one sample
+	} {
+		want := SampleEven(collection, tc.dictSize, tc.sampleSize)
+		s := NewEvenSampler(int64(len(collection)), tc.dictSize, tc.sampleSize)
+		for off := 0; off < len(collection); off += tc.chunk {
+			end := off + tc.chunk
+			if end > len(collection) {
+				end = len(collection)
+			}
+			if n, err := s.Write(collection[off:end]); err != nil || n != end-off {
+				t.Fatalf("Write = %d, %v", n, err)
+			}
+		}
+		if !bytes.Equal(s.Bytes(), want) {
+			t.Errorf("dict=%d samp=%d chunk=%d: streamed sample differs (%d vs %d bytes)",
+				tc.dictSize, tc.sampleSize, tc.chunk, len(s.Bytes()), len(want))
+		}
+	}
+}
+
+func TestEvenSamplerDegenerate(t *testing.T) {
+	if got := NewEvenSampler(0, 100, 10).Bytes(); len(got) != 0 {
+		t.Errorf("empty collection sampled %d bytes", len(got))
+	}
+	if got := NewEvenSampler(100, 0, 10).Bytes(); len(got) != 0 {
+		t.Errorf("zero dictSize sampled %d bytes", len(got))
+	}
+	// Writing nothing leaves the (zero-filled) sample intact and sized.
+	s := NewEvenSampler(1000, 100, 10)
+	if len(s.Bytes()) != 100 {
+		t.Errorf("unfed sampler has %d bytes, want 100", len(s.Bytes()))
+	}
+}

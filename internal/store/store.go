@@ -112,6 +112,10 @@ func (w *Writer) CollectStats(s *rlz.Stats) { w.stats = s }
 // writers or to inspect).
 func (w *Writer) Dictionary() *rlz.Dictionary { return w.dict }
 
+// Codec returns the writer's pair codec, so external build pipelines can
+// encode records off-thread and commit them with AppendEncoded.
+func (w *Writer) Codec() rlz.PairCodec { return w.codec }
+
 // Append factorizes doc and writes its record, returning the document ID.
 func (w *Writer) Append(doc []byte) (int, error) {
 	if w.closed {
@@ -131,6 +135,23 @@ func (w *Writer) AppendFactors(factors []rlz.Factor) error {
 	}
 	_, err := w.appendFactors(factors)
 	return err
+}
+
+// AppendEncoded commits a document record already encoded with this
+// writer's Codec against its Dictionary, returning the document ID. This
+// is the ordered-commit half of a parallel build: factorization and pair
+// encoding run on worker goroutines, records land here in document order,
+// and the resulting archive is byte-for-byte identical to sequential
+// Appends. Statistics attached via CollectStats do not observe documents
+// appended this way.
+func (w *Writer) AppendEncoded(rec []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("store: append to closed writer")
+	}
+	if _, err := w.w.Write(rec); err != nil {
+		return 0, fmt.Errorf("store: writing document: %w", err)
+	}
+	return w.m.Append(uint64(len(rec))), nil
 }
 
 func (w *Writer) appendFactors(factors []rlz.Factor) (int, error) {
