@@ -23,6 +23,7 @@ import (
 	"rlz/internal/corpus"
 	"rlz/internal/experiment"
 	"rlz/internal/rlz"
+	"rlz/internal/serve"
 	"rlz/internal/workload"
 )
 
@@ -151,6 +152,99 @@ func BenchmarkCrossBackendGet(b *testing.B) {
 			}
 			b.SetBytes(total / int64(b.N))
 			b.ReportMetric(100*float64(r.Size())/float64(raw), "enc-pct")
+		})
+	}
+}
+
+// BenchmarkConcurrentGet measures the serving layer under load: a
+// closed-loop 8-worker query-log (zipfian) workload retrieving batches
+// through a shared serve.Server, for every backend, cached and uncached.
+// This is the paper's random-access claim measured the way a frontend
+// pool exercises it, rather than one Get at a time.
+func BenchmarkConcurrentGet(b *testing.B) {
+	const workers = 8
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes, c.Seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
+	for _, bk := range crossBackendOptions(coll) {
+		var buf bytes.Buffer
+		if _, err := archive.Build(&buf, archive.FromBodies(bodies), bk.opts); err != nil {
+			b.Fatal(err)
+		}
+		r, err := archive.OpenBytes(buf.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cacheDocs := range []int{0, 256} {
+			name := bk.name + "/uncached"
+			if cacheDocs > 0 {
+				name = bk.name + "/cached"
+			}
+			b.Run(name, func(b *testing.B) {
+				srv := serve.New(r, serve.Options{CacheDocs: cacheDocs, Workers: workers})
+				b.ResetTimer()
+				var bytesServed int64
+				for i := 0; i < b.N; i++ {
+					res := workload.Run(srv, ids, workers)
+					if res.Errors > 0 {
+						b.Fatalf("%d errors in load run", res.Errors)
+					}
+					bytesServed += res.Bytes
+				}
+				b.SetBytes(bytesServed / int64(b.N))
+				st := srv.Stats()
+				b.ReportMetric(float64(st.P99Nanos), "p99-ns")
+				if st.CacheHits+st.CacheMisses > 0 {
+					b.ReportMetric(100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses), "hit-pct")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentGetBatch drives the same workload through the batch
+// API: one GetBatch per chunk of 64 ids, fanned across the Server's
+// worker pool.
+func BenchmarkConcurrentGetBatch(b *testing.B) {
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes, c.Seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
+	for _, bk := range crossBackendOptions(coll) {
+		var buf bytes.Buffer
+		if _, err := archive.Build(&buf, archive.FromBodies(bodies), bk.opts); err != nil {
+			b.Fatal(err)
+		}
+		r, err := archive.OpenBytes(buf.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bk.name, func(b *testing.B) {
+			srv := serve.New(r, serve.Options{CacheDocs: 256, Workers: 8})
+			b.ResetTimer()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < len(ids); off += 64 {
+					end := off + 64
+					if end > len(ids) {
+						end = len(ids)
+					}
+					for _, res := range srv.GetBatch(ids[off:end]) {
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+						total += int64(len(res.Data))
+					}
+				}
+			}
+			b.SetBytes(total / int64(b.N))
 		})
 	}
 }

@@ -1,0 +1,62 @@
+// Command rlzd serves documents from any archive built by cmd/rlz over
+// HTTP. The backend (rlz, block or raw) is auto-detected from the
+// archive's magic bytes; requests are served concurrently through
+// internal/serve's goroutine-safe Server, with an optional hot-document
+// LRU cache and live read statistics.
+//
+// Usage:
+//
+//	rlzd -a archive.rlz [-addr :8087] [-cache 1024] [-workers 0]
+//
+// Endpoints:
+//
+//	GET  /doc/{id}  one document, verbatim bytes
+//	POST /docs      batch retrieval; JSON {"ids":[1,2,3]} in,
+//	                per-document data/error JSON out
+//	GET  /stats     serve.Stats as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"rlz/internal/archive"
+	"rlz/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("rlzd", flag.ExitOnError)
+	arc := fs.String("a", "", "archive path (required; backend auto-detected)")
+	addr := fs.String("addr", ":8087", "listen address")
+	cacheDocs := fs.Int("cache", 1024, "hot-document LRU capacity in documents; 0 disables")
+	workers := fs.Int("workers", 0, "batch fan-out per request; 0 means GOMAXPROCS")
+	maxBatch := fs.Int("max-batch", 4096, "largest accepted POST /docs batch")
+	fs.Parse(os.Args[1:])
+	if *arc == "" {
+		fmt.Fprintln(os.Stderr, "rlzd: -a is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	r, err := archive.Open(*arc)
+	if err != nil {
+		log.Fatalf("rlzd: %v", err)
+	}
+	defer r.Close()
+	srv := serve.New(r, serve.Options{CacheDocs: *cacheDocs, Workers: *workers})
+	st := r.Stats()
+	log.Printf("rlzd: serving %s (%s backend, %d docs, %d bytes) on %s",
+		*arc, st.Backend, st.NumDocs, st.Size, *addr)
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      newMux(srv, *maxBatch),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"rlz/internal/docmap"
+	"rlz/internal/serve"
+)
+
+// batchRequest is the POST /docs body.
+type batchRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// batchDoc is one document of the POST /docs response. Data is base64
+// (Go's default []byte JSON encoding) and is always present on success —
+// a zero-byte document yields "data":"" — and null when Error is set.
+type batchDoc struct {
+	ID    int    `json:"id"`
+	Data  []byte `json:"data"`
+	Error string `json:"error,omitempty"`
+}
+
+// batchResponse is the POST /docs response envelope.
+type batchResponse struct {
+	Docs   []batchDoc `json:"docs"`
+	Errors int        `json:"errors"`
+}
+
+// newMux wires the rlzd endpoints around a serve.Server. Split from main
+// so handler tests run against httptest without a process.
+func newMux(srv *serve.Server, maxBatch int) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /doc/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, "document id must be an integer", http.StatusBadRequest)
+			return
+		}
+		// Do serves from a pooled buffer: no per-request allocation on
+		// the document path.
+		wrote := false
+		err = srv.Do(id, func(doc []byte) error {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+			wrote = true
+			_, werr := w.Write(doc)
+			return werr
+		})
+		if err != nil && !wrote {
+			// Retrieval failed before any byte went out, so a clean
+			// error response is still possible. A failed Write means the
+			// status and part of the body are already on the wire
+			// (typically a gone client); appending an error would only
+			// corrupt the stream.
+			if errors.Is(err, docmap.ErrNoSuchDoc) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("POST /docs", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(req.IDs) == 0 {
+			http.Error(w, `body must carry {"ids":[...]} with at least one id`, http.StatusBadRequest)
+			return
+		}
+		if len(req.IDs) > maxBatch {
+			http.Error(w, "batch of "+strconv.Itoa(len(req.IDs))+" exceeds limit "+strconv.Itoa(maxBatch), http.StatusRequestEntityTooLarge)
+			return
+		}
+		resp := batchResponse{Docs: make([]batchDoc, len(req.IDs))}
+		for i, res := range srv.GetBatch(req.IDs) {
+			resp.Docs[i].ID = res.ID
+			if res.Err != nil {
+				resp.Docs[i].Error = res.Err.Error()
+				resp.Errors++
+				continue
+			}
+			resp.Docs[i].Data = res.Data
+			if resp.Docs[i].Data == nil { // zero-byte document, not an omission
+				resp.Docs[i].Data = []byte{}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.Stats())
+	})
+
+	return mux
+}

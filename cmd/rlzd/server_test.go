@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rlz/internal/archive"
+	"rlz/internal/rlz"
+	"rlz/internal/serve"
+	"rlz/internal/workload"
+)
+
+func makeDocs(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]byte, n)
+	for i := range docs {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "<html><title>Doc %d</title><body>", i)
+		for j := 0; j < 2+rng.Intn(6); j++ {
+			fmt.Fprintf(&b, "<p>shared boilerplate %d</p>", rng.Intn(3))
+		}
+		fmt.Fprintf(&b, "%x</body></html>", rng.Int63())
+		docs[i] = b.Bytes()
+	}
+	return docs
+}
+
+// newTestServer builds an archive for docs with the given backend options
+// and wraps it in the rlzd handler.
+func newTestServer(t *testing.T, docs [][]byte, opts archive.Options, cacheDocs, maxBatch int) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := archive.Build(&buf, archive.FromBodies(docs), opts); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(r, serve.Options{CacheDocs: cacheDocs, Workers: 4})
+	ts := httptest.NewServer(newMux(srv, maxBatch))
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func allBackendOptions(docs [][]byte) map[string]archive.Options {
+	var all []byte
+	for _, d := range docs {
+		all = append(all, d...)
+	}
+	return map[string]archive.Options{
+		"rlz":   {Backend: archive.RLZ, Dict: rlz.SampleEven(all, len(all)/10+64, 256), Codec: rlz.CodecZV},
+		"block": {Backend: archive.Block, BlockSize: 4096},
+		"raw":   {Backend: archive.Raw},
+	}
+}
+
+func TestGetDoc(t *testing.T) {
+	docs := makeDocs(25, 1)
+	for name, opts := range allBackendOptions(docs) {
+		t.Run(name, func(t *testing.T) {
+			ts, _ := newTestServer(t, docs, opts, 8, 64)
+			for i, want := range docs {
+				resp, err := http.Get(ts.URL + "/doc/" + strconv.Itoa(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("GET /doc/%d = %d: %s", i, resp.StatusCode, body)
+				}
+				if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(want)) {
+					t.Errorf("GET /doc/%d Content-Length = %q, want %d", i, got, len(want))
+				}
+				if !bytes.Equal(body, want) {
+					t.Errorf("GET /doc/%d returned wrong bytes", i)
+				}
+			}
+		})
+	}
+}
+
+func TestGetDocErrors(t *testing.T) {
+	docs := makeDocs(5, 2)
+	ts, _ := newTestServer(t, docs, allBackendOptions(docs)["raw"], 0, 64)
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		wantStatus int
+	}{
+		{"out-of-range", "GET", "/doc/5", http.StatusNotFound},
+		{"negative", "GET", "/doc/-1", http.StatusNotFound},
+		{"non-numeric", "GET", "/doc/abc", http.StatusBadRequest},
+		{"missing-id", "GET", "/doc/", http.StatusNotFound}, // no pattern match
+		{"wrong-method", "POST", "/doc/1", http.StatusMethodNotAllowed},
+		{"unknown-path", "GET", "/nope", http.StatusNotFound},
+		{"stats-wrong-method", "POST", "/stats", http.StatusMethodNotAllowed},
+		{"docs-wrong-method", "GET", "/docs", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+}
+
+func TestPostDocsBatch(t *testing.T) {
+	docs := makeDocs(20, 3)
+	for name, opts := range allBackendOptions(docs) {
+		t.Run(name, func(t *testing.T) {
+			ts, _ := newTestServer(t, docs, opts, 8, 64)
+			// Mixed batch: valid ids, a duplicate, and two bad ids whose
+			// errors must be reported per document, not fail the request.
+			ids := []int{3, 0, 3, 19, 99, -1}
+			body, _ := json.Marshal(batchRequest{IDs: ids})
+			resp, err := http.Post(ts.URL+"/docs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /docs = %d", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q", ct)
+			}
+			var br batchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+				t.Fatal(err)
+			}
+			if len(br.Docs) != len(ids) {
+				t.Fatalf("got %d docs, want %d", len(br.Docs), len(ids))
+			}
+			if br.Errors != 2 {
+				t.Errorf("Errors = %d, want 2", br.Errors)
+			}
+			for i, d := range br.Docs {
+				if d.ID != ids[i] {
+					t.Errorf("doc %d has id %d, want %d", i, d.ID, ids[i])
+				}
+				if ids[i] < 0 || ids[i] >= len(docs) {
+					if d.Error == "" {
+						t.Errorf("bad id %d reported no error", ids[i])
+					}
+					continue
+				}
+				if d.Error != "" {
+					t.Errorf("id %d: unexpected error %q", ids[i], d.Error)
+				}
+				if !bytes.Equal(d.Data, docs[ids[i]]) {
+					t.Errorf("id %d: wrong bytes", ids[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPostDocsZeroByteDocument pins the batch response contract for the
+// degenerate document: success always carries a "data" field (an empty
+// string for an empty document), never a bare {"id":N}.
+func TestPostDocsZeroByteDocument(t *testing.T) {
+	docs := [][]byte{[]byte("first"), {}, []byte("third")}
+	ts, _ := newTestServer(t, docs, archive.Options{Backend: archive.Raw}, 0, 16)
+	resp, err := http.Post(ts.URL+"/docs", "application/json", strings.NewReader(`{"ids":[1,99]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var shape struct {
+		Docs []map[string]any `json:"docs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shape); err != nil {
+		t.Fatal(err)
+	}
+	if len(shape.Docs) != 2 {
+		t.Fatalf("got %d docs", len(shape.Docs))
+	}
+	if data, ok := shape.Docs[0]["data"]; !ok || data != "" {
+		t.Errorf(`zero-byte document: data = %v (present %v), want ""`, data, ok)
+	}
+	if _, ok := shape.Docs[0]["error"]; ok {
+		t.Error("zero-byte document reported an error")
+	}
+	if errStr, ok := shape.Docs[1]["error"]; !ok || errStr == "" {
+		t.Errorf("bad id: error = %v (present %v)", errStr, ok)
+	}
+}
+
+func TestPostDocsRejects(t *testing.T) {
+	docs := makeDocs(5, 4)
+	ts, _ := newTestServer(t, docs, allBackendOptions(docs)["raw"], 0, 3)
+	tests := []struct {
+		name       string
+		body       string
+		wantStatus int
+	}{
+		{"malformed-json", `{"ids":[1,`, http.StatusBadRequest},
+		{"empty-ids", `{"ids":[]}`, http.StatusBadRequest},
+		{"no-ids-key", `{}`, http.StatusBadRequest},
+		{"over-batch-limit", `{"ids":[0,1,2,3]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/docs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("POST /docs %s = %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	docs := makeDocs(10, 5)
+	ts, _ := newTestServer(t, docs, allBackendOptions(docs)["block"], 16, 64)
+	// Generate traffic: two sweeps (second hits cache) and one miss.
+	for pass := 0; pass < 2; pass++ {
+		for i := range docs {
+			resp, err := http.Get(ts.URL + "/doc/" + strconv.Itoa(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	http.Get(ts.URL + "/doc/999")
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	// Decode into a loose map to pin the JSON field names the endpoint
+	// promises, then into the typed struct for value checks.
+	raw, _ := io.ReadAll(resp.Body)
+	var shape map[string]any
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"backend", "num_docs", "archive_size_bytes", "requests", "errors",
+		"cache_hits", "cache_misses", "cached_docs", "cache_capacity",
+		"bytes_decoded", "bytes_served", "p50_latency_ns", "p99_latency_ns",
+	} {
+		if _, ok := shape[key]; !ok {
+			t.Errorf("stats JSON missing key %q", key)
+		}
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != "block" {
+		t.Errorf("backend = %q, want block", st.Backend)
+	}
+	if st.NumDocs != len(docs) {
+		t.Errorf("num_docs = %d, want %d", st.NumDocs, len(docs))
+	}
+	if want := int64(2*len(docs) + 1); st.Requests != want {
+		t.Errorf("requests = %d, want %d", st.Requests, want)
+	}
+	if st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+	if st.CacheHits < int64(len(docs)) {
+		t.Errorf("cache_hits = %d, want >= %d (full second sweep)", st.CacheHits, len(docs))
+	}
+	if st.P50Nanos <= 0 || st.P99Nanos < st.P50Nanos {
+		t.Errorf("latency quantiles p50=%d p99=%d are not sane", st.P50Nanos, st.P99Nanos)
+	}
+}
+
+// TestLoadGeneratorAgainstDaemon drives the HTTP daemon with the
+// closed-loop load generator — the same driver the benchmarks use
+// against the in-process Server — over all three backends.
+func TestLoadGeneratorAgainstDaemon(t *testing.T) {
+	docs := makeDocs(30, 6)
+	for name, opts := range allBackendOptions(docs) {
+		t.Run(name, func(t *testing.T) {
+			ts, srv := newTestServer(t, docs, opts, 16, 64)
+			ids := workload.QueryLog(len(docs), 300, 42)
+			res := workload.Run(&workload.HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}, ids, 8)
+			if res.Errors != 0 {
+				t.Fatalf("load run had %d errors", res.Errors)
+			}
+			if res.Requests != int64(len(ids)) {
+				t.Errorf("Requests = %d, want %d", res.Requests, len(ids))
+			}
+			if srv.Stats().Requests != int64(len(ids)) {
+				t.Errorf("server saw %d requests, want %d", srv.Stats().Requests, len(ids))
+			}
+			if res.Throughput() <= 0 {
+				t.Errorf("throughput = %f", res.Throughput())
+			}
+		})
+	}
+}

@@ -75,8 +75,16 @@ type Writer interface {
 }
 
 // Reader is the access side: random access to any document by ID.
-// Implementations are safe for concurrent use with distinct destination
-// buffers.
+//
+// Concurrency contract: every implementation MUST be safe for concurrent
+// use by multiple goroutines without external locking, provided each
+// concurrent GetAppend call passes a distinct dst buffer. Concretely:
+// readers hold no mutable per-call state, underlying storage is accessed
+// only via io.ReaderAt.ReadAt, and any internal caching or lazily built
+// state is internally synchronized. internal/serve builds its serving
+// layer on this guarantee, and the archive test suite enforces it under
+// the race detector for every registered backend (shared reader, 8+
+// goroutines, overlapping ids).
 type Reader interface {
 	// Get retrieves document id.
 	Get(id int) ([]byte, error)

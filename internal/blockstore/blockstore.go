@@ -257,7 +257,15 @@ func (w *Writer) Close() error {
 
 // Reader provides random access to a blocked archive. Every Get reads and
 // decompresses the target document's entire block — the baseline cost
-// model the paper measures. Reader is safe for concurrent use.
+// model the paper measures.
+//
+// Concurrency: all Reader methods are safe for concurrent use by multiple
+// goroutines, provided each call passes a distinct dst buffer. The Reader
+// itself holds no mutable per-call state (decompressors are constructed
+// per Get, the maps are immutable after Open, and the underlying
+// io.ReaderAt is accessed only through ReadAt), and the optional block
+// cache is internally synchronized. SetCacheBlocks is the one exception:
+// call it before the Reader is shared.
 type Reader struct {
 	r          io.ReaderAt
 	alg        Algorithm
@@ -437,6 +445,11 @@ func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
 		if err != nil {
 			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
 		}
+	default:
+		// Open validates the algorithm byte, but a Reader constructed any
+		// other way must fail loudly here rather than fall through with a
+		// nil block and report a misleading out-of-extent corruption.
+		return dst, fmt.Errorf("%w: unknown compression algorithm %q for block %d", ErrCorruptArchive, byte(r.alg), loc.block)
 	}
 	if r.cache != nil {
 		r.cache.put(loc.block, block)

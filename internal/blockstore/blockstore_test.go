@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -316,4 +317,77 @@ func TestParallelWriterCloseDrainsAfterError(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines leaked: %d before, %d after 10 failed builds", before, runtime.NumGoroutine())
+}
+
+// TestGetUnknownAlgorithm covers the GetAppend compression switch's
+// default arm: a Reader whose algorithm byte is unrecognized must report
+// it explicitly instead of the misleading zero-length-block corruption
+// error that a nil block used to produce.
+func TestGetUnknownAlgorithm(t *testing.T) {
+	docs := makeDocs(5, 29)
+	arc := build(t, docs, Options{BlockSize: 4096})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.alg = Algorithm('?') // Open validates; simulate a corrupted in-memory Reader
+	_, err = r.Get(0)
+	if err == nil {
+		t.Fatal("Get with unknown algorithm succeeded")
+	}
+	if !errors.Is(err, ErrCorruptArchive) {
+		t.Errorf("error %v is not ErrCorruptArchive", err)
+	}
+	if !strings.Contains(err.Error(), "unknown compression algorithm") {
+		t.Errorf("error %q does not name the unknown algorithm", err)
+	}
+	if strings.Contains(err.Error(), "outside block of 0") {
+		t.Errorf("error %q still reports the misleading empty-block extent", err)
+	}
+}
+
+// TestCacheAliasingRegression pins the cache ownership contract at the
+// blockstore level: mutating the slice passed to put, or appending to the
+// slice returned by get, must not corrupt subsequent cache hits.
+func TestCacheAliasingRegression(t *testing.T) {
+	c := newBlockCache(2)
+	block := []byte("block-zero-contents")
+	c.put(0, block)
+	for i := range block {
+		block[i] = 'X' // caller reuses its decode buffer
+	}
+	if got := c.get(0); string(got) != "block-zero-contents" {
+		t.Fatalf("cache aliased the caller's put slice: %q", got)
+	}
+	hit := c.get(0)
+	_ = append(hit, "-grown"...)
+	if got := c.get(0); string(got) != "block-zero-contents" {
+		t.Fatalf("appending to a hit mutated the cache: %q", got)
+	}
+}
+
+// TestCachedDocumentsAreAppendProof drives the aliasing contract through
+// the Reader: two documents in one cached block, retrieved with reused
+// append buffers, must never bleed into each other.
+func TestCachedDocumentsAreAppendProof(t *testing.T) {
+	docs := makeDocs(40, 31)
+	arc := build(t, docs, Options{BlockSize: 1 << 20}) // all docs in one block
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCacheBlocks(1)
+	var buf []byte
+	for pass := 0; pass < 3; pass++ {
+		for i, want := range docs {
+			buf, err = r.GetAppend(buf[:0], i)
+			if err != nil || !bytes.Equal(buf, want) {
+				t.Fatalf("pass %d doc %d mismatch (err %v)", pass, i, err)
+			}
+			// Scribble over the returned buffer as a rude caller would.
+			for j := range buf {
+				buf[j] = '#'
+			}
+		}
+	}
 }

@@ -1,76 +1,48 @@
 package blockstore
 
-import (
-	"container/list"
-	"sync"
-)
+import "rlz/internal/lru"
 
-// blockCache is a thread-safe LRU over decompressed blocks, keyed by block
-// index. The paper's baselines run uncached (every Get pays a full block
-// decompression, matching the evaluation's dropped-cache methodology);
-// production deployments keep a cache, so the Reader offers one as an
-// opt-in via SetCacheBlocks.
+// The block cache is an instance of the repository-wide LRU
+// (internal/lru) keyed by block index. The paper's baselines run uncached
+// (every Get pays a full block decompression, matching the evaluation's
+// dropped-cache methodology); production deployments keep a cache, so the
+// Reader offers one as an opt-in via SetCacheBlocks. The lru.Cache owns
+// its bytes — Put copies and Get returns an append-proof read-only view —
+// so neither a caller mutating its decode buffer after insertion nor one
+// appending to a hit can corrupt later hits.
+
+// blockCache adapts lru.Cache to the Reader's uint32 block keys.
 type blockCache struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recent; values are *cacheEntry
-	entries  map[uint32]*list.Element
-}
-
-type cacheEntry struct {
-	block uint32
-	data  []byte
+	c *lru.Cache
 }
 
 func newBlockCache(capacity int) *blockCache {
-	return &blockCache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[uint32]*list.Element, capacity),
-	}
+	return &blockCache{c: lru.New(capacity)}
 }
 
-// get returns the cached decompressed block, or nil.
+// get returns the cached decompressed block, or nil. The bytes are
+// cache-owned and must not be modified.
 func (c *blockCache) get(block uint32) []byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[block]
-	if !ok {
-		return nil
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).data
+	return c.c.Get(uint64(block))
 }
 
-// put stores a decompressed block, evicting the least recently used entry
-// when over capacity.
+// put stores a copy of a decompressed block, evicting the least recently
+// used entry when over capacity. The caller keeps ownership of data.
 func (c *blockCache) put(block uint32, data []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[block]; ok {
-		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).data = data
-		return
-	}
-	c.entries[block] = c.order.PushFront(&cacheEntry{block: block, data: data})
-	for c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).block)
-	}
+	c.c.Put(uint64(block), data)
 }
 
 // len reports the number of cached blocks.
-func (c *blockCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
-}
+func (c *blockCache) len() int { return c.c.Len() }
 
 // SetCacheBlocks enables an LRU cache of up to n decompressed blocks
 // (n <= 0 disables caching, the default and the paper-faithful mode).
 // Cached documents are returned without re-reading or re-decompressing
-// their block. Safe to call before sharing the Reader across goroutines.
+// their block.
+//
+// SetCacheBlocks is not itself synchronized: call it before sharing the
+// Reader across goroutines. Once set, the cache and every Reader access
+// method are safe for concurrent use.
 func (r *Reader) SetCacheBlocks(n int) {
 	if n <= 0 {
 		r.cache = nil

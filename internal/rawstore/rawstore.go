@@ -87,7 +87,12 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Reader provides random access to a raw archive. Safe for concurrent use.
+// Reader provides random access to a raw archive.
+//
+// Concurrency: all Reader methods are safe for concurrent use by
+// multiple goroutines with distinct dst buffers — the document map is
+// immutable after Open and documents are read straight off the
+// io.ReaderAt into the caller's buffer.
 type Reader struct {
 	r      io.ReaderAt
 	m      *docmap.Map

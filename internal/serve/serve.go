@@ -1,0 +1,230 @@
+// Package serve is the concurrent document-serving layer over
+// internal/archive: it wraps any archive.Reader in an explicit
+// concurrency contract and adds what a hot read path needs — a promoted
+// LRU document cache (internal/lru, the same cache the blockstore uses
+// for blocks, lifted here so the rlz and raw backends benefit too),
+// per-request buffer pooling around the GetAppend zero-allocation path,
+// a batch API with per-document error reporting, and read statistics
+// (hits, misses, bytes decoded, p50/p99 latency).
+//
+// The paper's headline claim (HoobinPZ11) is that RLZ makes random
+// access under load cheap; this package is where "under load" becomes
+// part of the API instead of an accident of ReadAt. cmd/rlzd exposes a
+// Server over HTTP, and internal/workload drives either through the
+// same Getter interface.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlz/internal/archive"
+	"rlz/internal/lru"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheDocs is the capacity of the decoded-document LRU cache, in
+	// documents; a value <= 0 disables caching, the paper-faithful mode
+	// where every request pays full decode cost.
+	CacheDocs int
+	// Workers bounds GetBatch fan-out: at most Workers documents are
+	// fetched from the backend concurrently. 0 means GOMAXPROCS; 1
+	// forces sequential batches.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Server serves documents from an archive.Reader to many goroutines.
+//
+// Concurrency: every Server method is safe for concurrent use. The
+// Server relies on the archive.Reader concurrency contract (methods safe
+// with distinct destination buffers) and layers internally-synchronized
+// state — the document cache, the buffer pool, the statistics — on top.
+// The Reader must not be closed while requests are in flight.
+type Server struct {
+	r       archive.Reader
+	backend archive.Backend
+	cache   *lru.Cache // nil = uncached
+	workers int
+	pool    sync.Pool // *[]byte scratch buffers for Do and GetBatch
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	decoded  atomic.Int64 // bytes decoded by the backend (cache misses)
+	served   atomic.Int64 // bytes handed to callers (hits + misses)
+	lat      latHist
+}
+
+// New wraps r in a Server. The Server does not take ownership of r;
+// close the Reader after the Server is quiesced.
+func New(r archive.Reader, opts Options) *Server {
+	s := &Server{
+		r:       r,
+		backend: r.Stats().Backend,
+		workers: opts.workers(),
+	}
+	if opts.CacheDocs > 0 {
+		s.cache = lru.New(opts.CacheDocs)
+	}
+	s.pool.New = func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}
+	return s
+}
+
+// Reader returns the wrapped archive.Reader.
+func (s *Server) Reader() archive.Reader { return s.r }
+
+// NumDocs returns the number of documents in the underlying archive.
+func (s *Server) NumDocs() int { return s.r.NumDocs() }
+
+// GetAppend retrieves document id, appending its text to dst — the
+// zero-steady-state-allocation path. Each concurrent caller must pass
+// its own dst.
+//
+// Statistics: hits and misses count only successfully served documents
+// (hits + misses == requests - errors on a cached Server), and the
+// latency histogram likewise covers successful requests, so a hot
+// failing id range shows up in Errors rather than skewing hit rate or
+// p50/p99.
+func (s *Server) GetAppend(dst []byte, id int) ([]byte, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	if s.cache != nil {
+		if doc := s.cache.Get(uint64(id)); doc != nil {
+			s.hits.Add(1)
+			s.served.Add(int64(len(doc)))
+			s.lat.observe(time.Since(start))
+			return append(dst, doc...), nil
+		}
+	}
+	base := len(dst)
+	dst, err := s.r.GetAppend(dst, id)
+	if err != nil {
+		s.errors.Add(1)
+		return dst, err
+	}
+	doc := dst[base:]
+	if s.cache != nil {
+		s.misses.Add(1)
+		s.cache.Put(uint64(id), doc)
+	}
+	s.decoded.Add(int64(len(doc)))
+	s.served.Add(int64(len(doc)))
+	s.lat.observe(time.Since(start))
+	return dst, nil
+}
+
+// Get retrieves document id into a fresh caller-owned buffer.
+func (s *Server) Get(id int) ([]byte, error) {
+	return s.GetAppend(nil, id)
+}
+
+// Do retrieves document id into a pooled scratch buffer and passes it to
+// fn. The buffer returns to the pool when fn returns, so fn must not
+// retain doc or any slice of it — copy what must outlive the call. This
+// is the per-request path HTTP handlers use to serve documents without a
+// per-request allocation.
+func (s *Server) Do(id int, fn func(doc []byte) error) error {
+	bufp := s.pool.Get().(*[]byte)
+	buf, err := s.GetAppend((*bufp)[:0], id)
+	if err == nil {
+		err = fn(buf)
+	}
+	*bufp = buf[:0]
+	s.pool.Put(bufp)
+	return err
+}
+
+// Result is one document of a batch response.
+type Result struct {
+	ID   int
+	Data []byte // nil when Err != nil; caller-owned otherwise
+	Err  error
+}
+
+// GetBatch retrieves every id, fanning the fetches across at most
+// Options.Workers goroutines. The returned slice always has len(ids)
+// results in request order; failures (out-of-range ids, decode errors)
+// are reported per document in Result.Err, so one bad id does not void
+// the rest of the batch.
+func (s *Server) GetBatch(ids []int) []Result {
+	out := make([]Result, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	workers := s.workers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for i, id := range ids {
+			out[i] = Result{ID: id}
+			out[i].Data, out[i].Err = s.Get(id)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				out[i] = Result{ID: ids[i]}
+				out[i].Data, out[i].Err = s.Get(ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats snapshots the Server's counters. The latency quantiles are
+// upper-bound estimates (power-of-two buckets).
+func (s *Server) Stats() Stats {
+	var cached, capacity int
+	if s.cache != nil {
+		cached, capacity = s.cache.Len(), s.cache.Capacity()
+	}
+	return Stats{
+		Backend:      string(s.backend),
+		NumDocs:      s.r.NumDocs(),
+		ArchiveSize:  s.r.Size(),
+		Requests:     s.requests.Load(),
+		Errors:       s.errors.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		CachedDocs:   cached,
+		CacheCap:     capacity,
+		BytesDecoded: s.decoded.Load(),
+		BytesServed:  s.served.Load(),
+		P50Nanos:     int64(s.lat.quantile(0.50)),
+		P99Nanos:     int64(s.lat.quantile(0.99)),
+	}
+}
+
+// String summarizes the stats for logs.
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: %d reqs (%d errs), cache %d/%d (%d docs), %d bytes decoded, %d served, p50 %v p99 %v",
+		st.Backend, st.Requests, st.Errors, st.CacheHits, st.CacheHits+st.CacheMisses,
+		st.CachedDocs, st.BytesDecoded, st.BytesServed,
+		time.Duration(st.P50Nanos), time.Duration(st.P99Nanos))
+}

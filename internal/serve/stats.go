@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a lock-free latency histogram with power-of-two nanosecond
+// buckets: bucket b counts requests whose latency lies in [2^(b-1), 2^b)
+// ns. Sixty-four buckets cover every representable duration, observation
+// is a single atomic increment, and quantiles are read with ~1x relative
+// error — plenty for the p50/p99 shape of a serving path.
+type latHist struct {
+	counts [64]atomic.Int64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bits.Len64(uint64(d))&63].Add(1)
+}
+
+// quantile returns an upper-bound estimate of the q-th latency quantile
+// (0 < q <= 1), or 0 if nothing has been observed.
+func (h *latHist) quantile(q float64) time.Duration {
+	var counts [64]int64
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range counts {
+		cum += c
+		if cum >= rank {
+			if b >= 63 {
+				return time.Duration(math.MaxInt64)
+			}
+			return time.Duration(1) << b // bucket upper bound
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// Stats is a point-in-time snapshot of a Server's counters, shaped for
+// JSON (the rlzd /stats endpoint serves it verbatim). Latencies are
+// upper-bound estimates from a power-of-two histogram, in nanoseconds.
+type Stats struct {
+	Backend      string `json:"backend"`
+	NumDocs      int    `json:"num_docs"`
+	ArchiveSize  int64  `json:"archive_size_bytes"`
+	Requests     int64  `json:"requests"`
+	Errors       int64  `json:"errors"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
+	CachedDocs   int    `json:"cached_docs"`
+	CacheCap     int    `json:"cache_capacity"`
+	BytesDecoded int64  `json:"bytes_decoded"`
+	BytesServed  int64  `json:"bytes_served"`
+	P50Nanos     int64  `json:"p50_latency_ns"`
+	P99Nanos     int64  `json:"p99_latency_ns"`
+}

@@ -190,8 +190,14 @@ func (w *Writer) Close() error {
 }
 
 // Reader provides random access to an RLZ archive. The dictionary text is
-// held in memory; document records are read on demand. Reader methods are
-// safe for concurrent use as long as distinct destination buffers are used.
+// held in memory; document records are read on demand.
+//
+// Concurrency: all Reader methods, including FindAll and GetRange, are
+// safe for concurrent use by multiple goroutines as long as each call
+// passes a distinct destination buffer. Per-call decode state (records,
+// factor slices, zlib inflaters) is allocated per Get, the document map
+// and dictionary text are immutable after Open, and the dictionary's
+// lazily built suffix array is guarded by a sync.Once.
 type Reader struct {
 	r            io.ReaderAt
 	dict         *rlz.Dictionary

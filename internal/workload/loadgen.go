@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Getter is the one-method view of a document server the load generator
+// drives: internal/serve.Server, any archive.Reader, and HTTPGetter all
+// satisfy it. Implementations must be safe for concurrent use with
+// distinct dst buffers.
+type Getter interface {
+	GetAppend(dst []byte, id int) ([]byte, error)
+}
+
+// Result summarizes one closed-loop load run.
+type Result struct {
+	Requests int64         // requests issued (== len(ids))
+	Errors   int64         // requests that returned an error
+	Bytes    int64         // document bytes received
+	Elapsed  time.Duration // wall time of the whole run
+}
+
+// Throughput returns the request rate in requests per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Run drives g with a closed-loop workload: `concurrency` workers each
+// hold one outstanding request at a time, pulling the next id from the
+// shared list until it is exhausted — the access model of a fixed-size
+// frontend pool, and the load shape the paper's query-log experiments
+// assume. Pair it with QueryLog (zipfian) or Uniform to pick the id
+// distribution. Each worker reuses its own buffer, so a Getter's
+// GetAppend zero-allocation path is exercised as a real frontend would.
+func Run(g Getter, ids []int, concurrency int) Result {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > len(ids) {
+		concurrency = len(ids)
+	}
+	var res Result
+	if len(ids) == 0 {
+		return res
+	}
+	var next, errs, bytes atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				var err error
+				buf, err = g.GetAppend(buf[:0], ids[i])
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				bytes.Add(int64(len(buf)))
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Requests = int64(len(ids))
+	res.Errors = errs.Load()
+	res.Bytes = bytes.Load()
+	return res
+}
+
+// HTTPGetter adapts a running rlzd daemon to the Getter interface, so the
+// same load generator drives the in-process Server and the HTTP serving
+// path. Safe for concurrent use (http.Client is).
+type HTTPGetter struct {
+	BaseURL string       // e.g. "http://localhost:8087"
+	Client  *http.Client // nil means http.DefaultClient
+}
+
+// GetAppend fetches GET {BaseURL}/doc/{id}, appending the body to dst.
+func (h *HTTPGetter) GetAppend(dst []byte, id int) ([]byte, error) {
+	c := h.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	resp, err := c.Get(h.BaseURL + "/doc/" + strconv.Itoa(id))
+	if err != nil {
+		return dst, err
+	}
+	defer resp.Body.Close()
+	base := len(dst)
+	dst, err = readAppend(dst, resp.Body)
+	if err != nil {
+		return dst[:base], err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body := dst[base:]
+		dst = dst[:base]
+		return dst, fmt.Errorf("workload: GET /doc/%d: %s: %s", id, resp.Status, body)
+	}
+	return dst, nil
+}
+
+// readAppend is io.ReadAll into an existing buffer: the response body is
+// appended to dst without a throwaway intermediate allocation.
+func readAppend(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeGetter is an in-memory Getter with optional failure injection.
+type fakeGetter struct {
+	docs     [][]byte
+	calls    atomic.Int64
+	inflight atomic.Int64
+	peak     atomic.Int64
+}
+
+var errNoDoc = errors.New("no such document")
+
+func (f *fakeGetter) GetAppend(dst []byte, id int) ([]byte, error) {
+	f.calls.Add(1)
+	cur := f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+	for {
+		p := f.peak.Load()
+		if cur <= p || f.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	if id < 0 || id >= len(f.docs) {
+		return dst, errNoDoc
+	}
+	return append(dst, f.docs[id]...), nil
+}
+
+func fakeDocs(n int) [][]byte {
+	docs := make([][]byte, n)
+	for i := range docs {
+		docs[i] = []byte(fmt.Sprintf("document-%d-body", i))
+	}
+	return docs
+}
+
+func TestRunCountsRequestsAndBytes(t *testing.T) {
+	g := &fakeGetter{docs: fakeDocs(10)}
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1}
+	var wantBytes int64
+	for _, id := range ids {
+		wantBytes += int64(len(g.docs[id]))
+	}
+	res := Run(g, ids, 4)
+	if res.Requests != int64(len(ids)) {
+		t.Errorf("Requests = %d, want %d", res.Requests, len(ids))
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", res.Errors)
+	}
+	if res.Bytes != wantBytes {
+		t.Errorf("Bytes = %d, want %d", res.Bytes, wantBytes)
+	}
+	if g.calls.Load() != int64(len(ids)) {
+		t.Errorf("getter saw %d calls, want %d", g.calls.Load(), len(ids))
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	if res.Throughput() <= 0 {
+		t.Error("Throughput not positive")
+	}
+}
+
+func TestRunReportsErrors(t *testing.T) {
+	g := &fakeGetter{docs: fakeDocs(5)}
+	res := Run(g, []int{0, 99, 1, -1, 2}, 2)
+	if res.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", res.Errors)
+	}
+	if res.Requests != 5 {
+		t.Errorf("Requests = %d, want 5", res.Requests)
+	}
+}
+
+func TestRunConcurrencyIsBounded(t *testing.T) {
+	g := &fakeGetter{docs: fakeDocs(4)}
+	ids := make([]int, 1000)
+	for i := range ids {
+		ids[i] = i % 4
+	}
+	Run(g, ids, 3)
+	if peak := g.peak.Load(); peak > 3 {
+		t.Errorf("peak in-flight = %d, want <= 3", peak)
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	g := &fakeGetter{docs: fakeDocs(3)}
+	if res := Run(g, nil, 8); res.Requests != 0 || res.Errors != 0 {
+		t.Errorf("empty id list: %+v", res)
+	}
+	// Concurrency below 1 and above len(ids) both get clamped.
+	if res := Run(g, []int{1}, 0); res.Requests != 1 || res.Errors != 0 {
+		t.Errorf("clamped concurrency: %+v", res)
+	}
+	if res := Run(g, []int{0, 1}, 64); res.Requests != 2 || res.Errors != 0 {
+		t.Errorf("oversized concurrency: %+v", res)
+	}
+}
+
+func TestHTTPGetter(t *testing.T) {
+	docs := fakeDocs(6)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/doc/")
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 || id >= len(docs) {
+			http.Error(w, "no such document", http.StatusNotFound)
+			return
+		}
+		w.Write(docs[id])
+	}))
+	defer ts.Close()
+
+	g := &HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}
+	buf, err := g.GetAppend([]byte("prefix-"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "prefix-" + string(docs[2]); string(buf) != want {
+		t.Errorf("GetAppend = %q, want %q", buf, want)
+	}
+	// Errors leave dst unchanged and mention the status.
+	buf, err = g.GetAppend([]byte("keep"), 99)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("expected 404 error, got %v", err)
+	}
+	if string(buf) != "keep" {
+		t.Errorf("failed GetAppend mutated dst: %q", buf)
+	}
+
+	res := Run(g, []int{0, 1, 2, 3, 4, 5, 0, 1}, 4)
+	if res.Errors != 0 || res.Requests != 8 {
+		t.Errorf("HTTP load run: %+v", res)
+	}
+}
