@@ -15,6 +15,8 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -24,6 +26,7 @@ import (
 	"rlz/internal/experiment"
 	"rlz/internal/rlz"
 	"rlz/internal/serve"
+	"rlz/internal/shard"
 	"rlz/internal/workload"
 )
 
@@ -246,6 +249,79 @@ func BenchmarkConcurrentGetBatch(b *testing.B) {
 			}
 			b.SetBytes(total / int64(b.N))
 		})
+	}
+}
+
+// shardCounts is the sharding axis of the sharded benchmarks: a single
+// shard (the monolithic baseline through the shard layer), a small set
+// and a wide set.
+var shardCounts = []int{1, 4, 16}
+
+// BenchmarkShardedGet measures random access through the shard routing
+// layer: the query-log workload against shard sets of 1, 4 and 16
+// shards for every backend, read through archive.Open's auto-detected
+// shard Reader. The single-shard case prices the routing layer itself
+// against BenchmarkCrossBackendGet.
+func BenchmarkShardedGet(b *testing.B) {
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes, c.Seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
+	for _, bk := range crossBackendOptions(coll) {
+		for _, n := range shardCounts {
+			dir := filepath.Join(b.TempDir(), fmt.Sprintf("%s-%d", bk.name, n))
+			if _, err := shard.Create(dir, archive.FromBodies(bodies), shard.Options{Shards: n, Archive: bk.opts}); err != nil {
+				b.Fatal(err)
+			}
+			r, err := archive.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/shards=%d", bk.name, n), func(b *testing.B) {
+				var dst []byte
+				var total int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, id := range ids {
+						dst, err = r.GetAppend(dst[:0], id)
+						if err != nil {
+							b.Fatal(err)
+						}
+						total += int64(len(dst))
+					}
+				}
+				b.SetBytes(total / int64(b.N))
+			})
+			r.Close()
+		}
+	}
+}
+
+// BenchmarkShardedBuild measures the partitioned parallel build: N
+// per-shard pipelines fed by the routing goroutine, in raw bytes
+// consumed per second, across the same shard × backend grid.
+func BenchmarkShardedBuild(b *testing.B) {
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes/2, c.Seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	for _, bk := range crossBackendOptions(coll) {
+		for _, n := range shardCounts {
+			b.Run(fmt.Sprintf("%s/shards=%d", bk.name, n), func(b *testing.B) {
+				b.SetBytes(coll.TotalSize())
+				for i := 0; i < b.N; i++ {
+					dir := filepath.Join(b.TempDir(), strconv.Itoa(i))
+					if _, err := shard.Create(dir, archive.FromBodies(bodies), shard.Options{Shards: n, Archive: bk.opts}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

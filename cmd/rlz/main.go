@@ -7,6 +7,7 @@
 //
 //	rlz build -o archive.rlz [-backend rlz|block|raw] [-codec ZV] [-dict 1MB] [-sample 1KB] FILE...
 //	rlz build -o archive.blk -backend block [-block 256KB] [-alg zlib|lzma] -dir ./crawl
+//	rlz build -o crawl.shards -shards 16 -warc crawl.warc
 //	rlz get -a archive.rlz -id 3
 //	rlz cat -a archive.rlz
 //	rlz stats -a archive.rlz
@@ -17,7 +18,9 @@
 // lexical order, taking every regular file as a document; -warc streams
 // a warc collection file. Reading commands auto-detect the backend from
 // the archive's magic, so none of them need to be told which scheme
-// built the file.
+// built the file. -shards N (N > 1) partitions the build across N
+// independently built shard archives in a directory; reading commands
+// open the directory (or its MANIFEST file) like any single archive.
 //
 // To serve an archive hot over HTTP, see cmd/rlzd.
 package main
@@ -37,6 +40,7 @@ import (
 	"rlz/internal/blockstore"
 	"rlz/internal/lz77"
 	"rlz/internal/rlz"
+	"rlz/internal/shard"
 	"rlz/internal/units"
 )
 
@@ -74,9 +78,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rlz build  -o ARCHIVE [-backend rlz|block|raw] [-workers N] FILE... | -dir DIR | -warc FILE
+  rlz build  -o ARCHIVE [-backend rlz|block|raw] [-workers N] [-shards N] FILE... | -dir DIR | -warc FILE
              rlz backend:   [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE]
              block backend: [-block SIZE] [-alg zlib|lzma]
+             -shards N > 1 writes a shard directory; read commands take -a DIR
   rlz get    -a ARCHIVE -id N
   rlz cat    -a ARCHIVE
   rlz stats  -a ARCHIVE
@@ -94,6 +99,7 @@ func cmdBuild(args []string) error {
 	blockSize := fs.String("block", "256KB", "block backend: uncompressed block capacity; 0 means one doc per block")
 	algName := fs.String("alg", "zlib", "block backend compressor: zlib or lzma")
 	workers := fs.Int("workers", 0, "build concurrency; 0 means GOMAXPROCS (output is identical at any count)")
+	shards := fs.Int("shards", 1, "split the archive into N independently built shards (-o becomes a directory)")
 	dir := fs.String("dir", "", "treat every regular file under this directory as a document")
 	warcPath := fs.String("warc", "", "read documents from a warc collection file (see cmd/rlzgen)")
 	if err := fs.Parse(args); err != nil {
@@ -173,23 +179,58 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := archive.Create(*out, src, opts)
-	if err != nil {
-		return err
-	}
-	if res.Docs == 0 {
-		os.Remove(*out)
-		return fmt.Errorf("build: no input documents")
-	}
-	st, err := os.Stat(*out)
-	if err != nil {
-		return err
+	var (
+		res  archive.BuildResult
+		size int64
+	)
+	if *shards > 1 {
+		// Sharded build: -o names a directory holding a manifest plus
+		// one independently built archive per shard. Reading commands
+		// open it like any archive (rlz get -a DIR).
+		res, err = shard.Create(*out, src, shard.Options{Shards: *shards, Archive: opts})
+		if err != nil {
+			return err
+		}
+		if res.Docs == 0 {
+			shard.RemoveArchive(*out)
+			return fmt.Errorf("build: no input documents")
+		}
+		// Sum shard file sizes from the manifest (matching Reader.Size)
+		// instead of reopening the whole set just to report a number.
+		m, err := shard.ReadManifest(filepath.Join(*out, shard.ManifestName))
+		if err != nil {
+			return err
+		}
+		for _, s := range m.Shards {
+			st, err := os.Stat(filepath.Join(*out, s.Path))
+			if err != nil {
+				return err
+			}
+			size += st.Size()
+		}
+	} else {
+		res, err = archive.Create(*out, src, opts)
+		if err != nil {
+			return err
+		}
+		if res.Docs == 0 {
+			os.Remove(*out)
+			return fmt.Errorf("build: no input documents")
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			return err
+		}
+		size = st.Size()
 	}
 	fmt.Printf("%s: backend %s, %d docs, %d -> %d bytes (%.2f%%)",
-		*out, backend, res.Docs, res.RawBytes, st.Size(),
-		100*float64(st.Size())/float64(res.RawBytes))
+		*out, backend, res.Docs, res.RawBytes, size,
+		100*float64(size)/float64(res.RawBytes))
 	if backend == archive.RLZ {
 		fmt.Printf(", dict %d bytes, codec %s", len(opts.Dict), opts.Codec)
+	}
+	if *shards > 1 {
+		fmt.Printf(", %d shards", *shards)
 	}
 	fmt.Println()
 	return nil

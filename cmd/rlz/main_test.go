@@ -217,3 +217,69 @@ func TestGetOutOfRangeID(t *testing.T) {
 		t.Error("out-of-range id accepted")
 	}
 }
+
+// TestBuildShardedEndToEnd: -shards N writes a shard directory that
+// every read command opens like a single archive (directory or manifest
+// path), for all three backends.
+func TestBuildShardedEndToEnd(t *testing.T) {
+	dir, docs := writeDocs(t)
+	for _, backend := range []string{"rlz", "block", "raw"} {
+		out := filepath.Join(t.TempDir(), "set."+backend)
+		args := []string{"-o", out, "-backend", backend, "-shards", "3", "-dir", dir}
+		if backend == "block" {
+			args = append(args, "-block", "128B")
+		}
+		if err := cmdBuild(args); err != nil {
+			t.Fatalf("%s: build: %v", backend, err)
+		}
+		r, err := archive.Open(out)
+		if err != nil {
+			t.Fatalf("%s: open dir: %v", backend, err)
+		}
+		if got := string(r.Stats().Backend); got != backend {
+			t.Fatalf("auto-detected %q, want %q", got, backend)
+		}
+		if r.NumDocs() != len(docs) {
+			t.Fatalf("%s: NumDocs = %d, want %d", backend, r.NumDocs(), len(docs))
+		}
+		// Round-robin routing serves shard 0's documents first; check
+		// the full content set matches regardless of order.
+		seen := map[string]int{}
+		for i := 0; i < r.NumDocs(); i++ {
+			doc, err := r.Get(i)
+			if err != nil {
+				t.Fatalf("%s: Get(%d): %v", backend, i, err)
+			}
+			seen[string(doc)]++
+		}
+		for _, want := range docs {
+			if seen[string(want)] != 1 {
+				t.Fatalf("%s: document %q served %d times", backend, want[:30], seen[string(want)])
+			}
+		}
+		r.Close()
+		if err := cmdVerify([]string{"-a", out}); err != nil {
+			t.Fatalf("%s: verify: %v", backend, err)
+		}
+		if err := cmdStats([]string{"-a", out}); err != nil {
+			t.Fatalf("%s: stats: %v", backend, err)
+		}
+		// The manifest path works as well as the directory.
+		if err := cmdGet([]string{"-a", filepath.Join(out, "MANIFEST"), "-id", "0"}); err != nil {
+			t.Fatalf("%s: get via manifest: %v", backend, err)
+		}
+	}
+}
+
+// TestGrepOverShardSet: compressed-domain search spans shards with
+// globally remapped ids.
+func TestGrepOverShardSet(t *testing.T) {
+	dir, _ := writeDocs(t)
+	out := filepath.Join(t.TempDir(), "set")
+	if err := cmdBuild([]string{"-o", out, "-shards", "4", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGrep([]string{"-a", out, "boilerplate"}); err != nil {
+		t.Fatalf("grep over shard set: %v", err)
+	}
+}

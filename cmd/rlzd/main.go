@@ -1,19 +1,23 @@
 // Command rlzd serves documents from any archive built by cmd/rlz over
 // HTTP. The backend (rlz, block or raw) is auto-detected from the
-// archive's magic bytes; requests are served concurrently through
-// internal/serve's goroutine-safe Server, with an optional hot-document
-// LRU cache and live read statistics.
+// archive's magic bytes; a shard directory (rlz build -shards) is served
+// through the same flag, with requests routed to the owning shard.
+// Requests are served concurrently through internal/serve's
+// goroutine-safe Server, with an optional hot-document LRU cache and
+// live read statistics.
 //
 // Usage:
 //
 //	rlzd -a archive.rlz [-addr :8087] [-cache 1024] [-workers 0]
+//	rlzd -a sharddir/
 //
 // Endpoints:
 //
 //	GET  /doc/{id}  one document, verbatim bytes
 //	POST /docs      batch retrieval; JSON {"ids":[1,2,3]} in,
 //	                per-document data/error JSON out
-//	GET  /stats     serve.Stats as JSON
+//	GET  /stats     serve.Stats as JSON, plus a per-shard breakdown
+//	                when serving a shard set
 package main
 
 import (
@@ -49,12 +53,12 @@ func main() {
 	defer r.Close()
 	srv := serve.New(r, serve.Options{CacheDocs: *cacheDocs, Workers: *workers})
 	st := r.Stats()
-	log.Printf("rlzd: serving %s (%s backend, %d docs, %d bytes) on %s",
-		*arc, st.Backend, st.NumDocs, st.Size, *addr)
+	log.Printf("rlzd: serving %s (%s, %d docs, %d bytes) on %s",
+		*arc, backendLabel(r), st.NumDocs, st.Size, *addr)
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      newMux(srv, *maxBatch),
+		Handler:      newMux(srv, *maxBatch, nil),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}

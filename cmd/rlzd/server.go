@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
 	"strconv"
 
+	"rlz/internal/archive"
 	"rlz/internal/docmap"
 	"rlz/internal/serve"
+	"rlz/internal/shard"
 )
 
 // batchRequest is the POST /docs body.
@@ -30,10 +33,41 @@ type batchResponse struct {
 	Errors int        `json:"errors"`
 }
 
+// shardStat is the per-shard breakdown of GET /stats for shard sets.
+type shardStat struct {
+	Path      string `json:"path"`
+	NumDocs   int    `json:"num_docs"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// statsResponse is serve.Stats plus, when serving a shard set, the
+// per-shard breakdown.
+type statsResponse struct {
+	serve.Stats
+	NumShards int         `json:"num_shards,omitempty"`
+	Shards    []shardStat `json:"shards,omitempty"`
+}
+
 // newMux wires the rlzd endpoints around a serve.Server. Split from main
-// so handler tests run against httptest without a process.
-func newMux(srv *serve.Server, maxBatch int) http.Handler {
+// so handler tests run against httptest without a process. Response
+// encoding failures (typically a client gone mid-body) are reported to
+// errlog — nil means the process logger — so truncated responses are
+// observable instead of silently dropped.
+func newMux(srv *serve.Server, maxBatch int, errlog *log.Logger) http.Handler {
+	if errlog == nil {
+		errlog = log.Default()
+	}
 	mux := http.NewServeMux()
+
+	// Per-shard figures are immutable once the archive is open, so the
+	// breakdown is computed once, not per /stats request.
+	var shardStats []shardStat
+	if sr, ok := shard.FromReader(srv.Reader()); ok {
+		m := sr.Manifest()
+		for i, st := range sr.ShardStats() {
+			shardStats = append(shardStats, shardStat{Path: m.Shards[i].Path, NumDocs: st.NumDocs, SizeBytes: st.Size})
+		}
+	}
 
 	mux.HandleFunc("GET /doc/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.PathValue("id"))
@@ -80,7 +114,34 @@ func newMux(srv *serve.Server, maxBatch int) http.Handler {
 			return
 		}
 		resp := batchResponse{Docs: make([]batchDoc, len(req.IDs))}
-		for i, res := range srv.GetBatch(req.IDs) {
+		// Negative ids can never resolve; reject them up front instead
+		// of paying a backend round-trip each. valid/slot carry the
+		// surviving ids and their response positions.
+		valid := req.IDs
+		var slot []int
+		for _, id := range req.IDs {
+			if id < 0 {
+				valid = make([]int, 0, len(req.IDs))
+				slot = make([]int, 0, len(req.IDs))
+				break
+			}
+		}
+		if slot != nil {
+			for i, id := range req.IDs {
+				if id < 0 {
+					resp.Docs[i] = batchDoc{ID: id, Error: "document id must be non-negative"}
+					resp.Errors++
+					continue
+				}
+				valid = append(valid, id)
+				slot = append(slot, i)
+			}
+		}
+		for k, res := range srv.GetBatch(valid) {
+			i := k
+			if slot != nil {
+				i = slot[k]
+			}
 			resp.Docs[i].ID = res.ID
 			if res.Err != nil {
 				resp.Docs[i].Error = res.Err.Error()
@@ -93,13 +154,27 @@ func newMux(srv *serve.Server, maxBatch int) http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			errlog.Printf("rlzd: encoding /docs response (%d ids): %v", len(req.IDs), err)
+		}
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(srv.Stats())
+		resp := statsResponse{Stats: srv.Stats(), NumShards: len(shardStats), Shards: shardStats}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			errlog.Printf("rlzd: encoding /stats response: %v", err)
+		}
 	})
 
 	return mux
+}
+
+// backendLabel names what the daemon is serving, including shard shape.
+func backendLabel(r archive.Reader) string {
+	st := r.Stats()
+	if sr, ok := shard.FromReader(r); ok {
+		return string(st.Backend) + " backend, " + strconv.Itoa(sr.NumShards()) + " shards"
+	}
+	return string(st.Backend) + " backend"
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,6 +17,7 @@ import (
 	"rlz/internal/archive"
 	"rlz/internal/rlz"
 	"rlz/internal/serve"
+	"rlz/internal/shard"
 	"rlz/internal/workload"
 )
 
@@ -46,7 +49,7 @@ func newTestServer(t *testing.T, docs [][]byte, opts archive.Options, cacheDocs,
 		t.Fatal(err)
 	}
 	srv := serve.New(r, serve.Options{CacheDocs: cacheDocs, Workers: 4})
-	ts := httptest.NewServer(newMux(srv, maxBatch))
+	ts := httptest.NewServer(newMux(srv, maxBatch, nil))
 	t.Cleanup(ts.Close)
 	return ts, srv
 }
@@ -321,5 +324,183 @@ func TestLoadGeneratorAgainstDaemon(t *testing.T) {
 				t.Errorf("throughput = %f", res.Throughput())
 			}
 		})
+	}
+}
+
+// TestPostDocsNegativeIDFastPath: negative ids are rejected in the
+// handler, before the serving layer — the backend sees only the valid
+// ids — and the response still reports every id in request order.
+func TestPostDocsNegativeIDFastPath(t *testing.T) {
+	docs := makeDocs(8, 7)
+	ts, srv := newTestServer(t, docs, archive.Options{Backend: archive.Raw}, 0, 64)
+	ids := []int{-5, 2, -1, 0, 7, -9}
+	body, _ := json.Marshal(batchRequest{IDs: ids})
+	resp, err := http.Post(ts.URL+"/docs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Docs) != len(ids) || br.Errors != 3 {
+		t.Fatalf("got %d docs, %d errors; want %d docs, 3 errors", len(br.Docs), br.Errors, len(ids))
+	}
+	for i, d := range br.Docs {
+		if d.ID != ids[i] {
+			t.Errorf("doc %d has id %d, want %d", i, d.ID, ids[i])
+		}
+		if ids[i] < 0 {
+			if d.Error == "" {
+				t.Errorf("negative id %d reported no error", ids[i])
+			}
+			continue
+		}
+		if d.Error != "" || !bytes.Equal(d.Data, docs[ids[i]]) {
+			t.Errorf("id %d: %q / wrong bytes", ids[i], d.Error)
+		}
+	}
+	// The serving layer must have been asked only for the 3 valid ids.
+	if got := srv.Stats().Requests; got != 3 {
+		t.Errorf("backend saw %d requests, want 3 (negatives short-circuited)", got)
+	}
+}
+
+// failAfterHeaderWriter passes header writes through to the recorder but
+// fails body writes, simulating a client gone before the JSON body.
+type failAfterHeaderWriter struct {
+	http.ResponseWriter
+}
+
+func (w failAfterHeaderWriter) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("client went away")
+}
+
+// TestEncodeErrorsAreLogged: a response-encoding failure on /docs and
+// /stats lands in the error log instead of vanishing.
+func TestEncodeErrorsAreLogged(t *testing.T) {
+	docs := makeDocs(4, 8)
+	var buf bytes.Buffer
+	if _, err := archive.Build(&buf, archive.FromBodies(docs), archive.Options{Backend: archive.Raw}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	h := newMux(serve.New(r, serve.Options{}), 64, log.New(&logBuf, "", 0))
+
+	req := httptest.NewRequest("POST", "/docs", strings.NewReader(`{"ids":[0,1]}`))
+	h.ServeHTTP(failAfterHeaderWriter{httptest.NewRecorder()}, req)
+	if !strings.Contains(logBuf.String(), "/docs") {
+		t.Errorf("dropped /docs encode error not logged: %q", logBuf.String())
+	}
+
+	logBuf.Reset()
+	h.ServeHTTP(failAfterHeaderWriter{httptest.NewRecorder()}, httptest.NewRequest("GET", "/stats", nil))
+	if !strings.Contains(logBuf.String(), "/stats") {
+		t.Errorf("dropped /stats encode error not logged: %q", logBuf.String())
+	}
+}
+
+// TestServeShardSet: rlzd serves a shard directory transparently and
+// /stats carries the per-shard breakdown.
+func TestServeShardSet(t *testing.T) {
+	docs := makeDocs(30, 9)
+	for name, opts := range allBackendOptions(docs) {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "set")
+			if _, err := shard.Create(dir, archive.FromBodies(docs), shard.Options{Shards: 4, Archive: opts}); err != nil {
+				t.Fatal(err)
+			}
+			r, err := archive.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { r.Close() })
+			srv := serve.New(r, serve.Options{CacheDocs: 8, Workers: 4})
+			ts := httptest.NewServer(newMux(srv, 64, nil))
+			t.Cleanup(ts.Close)
+
+			// Every document is served through the routed ids.
+			seen := map[string]int{}
+			for i := 0; i < len(docs); i++ {
+				resp, err := http.Get(ts.URL + "/doc/" + strconv.Itoa(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("GET /doc/%d = %d", i, resp.StatusCode)
+				}
+				seen[string(body)]++
+			}
+			for _, want := range docs {
+				if seen[string(want)] != 1 {
+					t.Fatalf("document served %d times", seen[string(want)])
+				}
+			}
+			resp, err := http.Get(ts.URL + "/doc/999")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("out-of-range over shards = %d, want 404", resp.StatusCode)
+			}
+
+			resp, err = http.Get(ts.URL + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var st statsResponse
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			if st.NumShards != 4 || len(st.Shards) != 4 {
+				t.Fatalf("stats shards = %d/%d entries, want 4", st.NumShards, len(st.Shards))
+			}
+			totalDocs, totalBytes := 0, int64(0)
+			for i, sh := range st.Shards {
+				if sh.Path == "" {
+					t.Errorf("shard %d has empty path", i)
+				}
+				totalDocs += sh.NumDocs
+				totalBytes += sh.SizeBytes
+			}
+			if totalDocs != len(docs) {
+				t.Errorf("shard doc counts sum to %d, want %d", totalDocs, len(docs))
+			}
+			if totalBytes != st.ArchiveSize {
+				t.Errorf("shard sizes sum to %d, archive_size_bytes %d", totalBytes, st.ArchiveSize)
+			}
+		})
+	}
+}
+
+// TestLoadGeneratorAgainstShardedDaemon: the closed-loop load generator
+// drives a daemon serving a shard set, end to end.
+func TestLoadGeneratorAgainstShardedDaemon(t *testing.T) {
+	docs := makeDocs(40, 10)
+	dir := filepath.Join(t.TempDir(), "set")
+	if _, err := shard.Create(dir, archive.FromBodies(docs), shard.Options{Shards: 5, Archive: allBackendOptions(docs)["rlz"]}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	srv := serve.New(r, serve.Options{CacheDocs: 16, Workers: 4})
+	ts := httptest.NewServer(newMux(srv, 64, nil))
+	t.Cleanup(ts.Close)
+	ids := workload.QueryLog(len(docs), 400, 42)
+	res := workload.Run(&workload.HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}, ids, 8)
+	if res.Errors != 0 || res.Requests != int64(len(ids)) {
+		t.Fatalf("sharded load run: %+v", res)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -181,9 +182,52 @@ func RegisterFormat(magic string, backend Backend, open OpenFunc) {
 	registry = append(registry, entry{magic: magic, backend: backend, open: open})
 }
 
+// DirManifest is the well-known file name multi-file formats place in
+// their archive directory; Open(dir) looks for it, so a shard set opens
+// from either its directory or its manifest path.
+const DirManifest = "MANIFEST"
+
+// pathEntry is one multi-file format: archives that span several files
+// (e.g. a shard manifest plus its shard archives) and therefore must be
+// opened from a path, not a ReaderAt.
+type pathEntry struct {
+	magic string
+	name  string
+	open  func(path string) (Reader, error)
+}
+
+var pathRegistry []pathEntry
+
+// RegisterPathFormat adds a multi-file format to Open's dispatch table.
+// magic must be the manifest file's first 4 bytes; name is used in error
+// messages. Unlike RegisterFormat, the opener receives the manifest's
+// path so it can resolve sibling files. OpenReaderAt and OpenBytes reject
+// these magics with a pointer to Open, since a lone ReaderAt cannot reach
+// the other files.
+func RegisterPathFormat(magic, name string, open func(path string) (Reader, error)) {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("archive: magic %q must be 4 bytes", magic))
+	}
+	for _, e := range registry {
+		if e.magic == magic {
+			panic(fmt.Sprintf("archive: magic %q registered twice", magic))
+		}
+	}
+	for _, e := range pathRegistry {
+		if e.magic == magic {
+			panic(fmt.Sprintf("archive: magic %q registered twice", magic))
+		}
+	}
+	pathRegistry = append(pathRegistry, pathEntry{magic: magic, name: name, open: open})
+}
+
 // ErrUnknownFormat is wrapped by Open when no registered backend claims
 // the archive's magic.
 var ErrUnknownFormat = fmt.Errorf("archive: unknown format")
+
+// ErrNeedsPath is wrapped by OpenReaderAt and OpenBytes when the magic
+// belongs to a multi-file format, which only Open(path) can assemble.
+var ErrNeedsPath = fmt.Errorf("archive: format spans multiple files; open it by path")
 
 // OpenReaderAt auto-detects the backend from the header magic and opens
 // the archive.
@@ -198,6 +242,11 @@ func OpenReaderAt(r io.ReaderAt, size int64) (Reader, error) {
 	for _, e := range registry {
 		if string(magic[:]) == e.magic {
 			return e.open(r, size)
+		}
+	}
+	for _, e := range pathRegistry {
+		if string(magic[:]) == e.magic {
+			return nil, fmt.Errorf("%w: %s archives", ErrNeedsPath, e.name)
 		}
 	}
 	known := make([]string, 0, len(registry))
@@ -229,9 +278,16 @@ func (r *fileReader) Close() error {
 	return err
 }
 
-// Open opens an archive file, auto-detecting its backend. Close the
-// Reader to release the file.
+// Open opens an archive, auto-detecting its backend. Single-file
+// archives dispatch on their magic bytes; multi-file formats (see
+// RegisterPathFormat) dispatch on their manifest's magic and open their
+// sibling files themselves. A directory path is resolved to the
+// DirManifest file inside it, so a shard set opens from its directory.
+// Close the Reader to release the underlying files.
 func Open(path string) (Reader, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, DirManifest)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -240,6 +296,19 @@ func Open(path string) (Reader, error) {
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if len(pathRegistry) > 0 && st.Size() >= 4 {
+		var magic [4]byte
+		if _, err := f.ReadAt(magic[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("archive: reading magic: %w", err)
+		}
+		for _, e := range pathRegistry {
+			if string(magic[:]) == e.magic {
+				f.Close()
+				return e.open(path)
+			}
+		}
 	}
 	rd, err := OpenReaderAt(f, st.Size())
 	if err != nil {

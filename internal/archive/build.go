@@ -25,6 +25,13 @@ type Options struct {
 	// best general-purpose choice).
 	Dict  []byte
 	Codec rlz.PairCodec
+	// PreparedDict optionally supplies an already-indexed dictionary to
+	// reuse, taking precedence over Dict. Several writers sharing one
+	// PreparedDict pay its O(m) suffix-array construction once (rlz
+	// factorization through a shared Dictionary is concurrency-safe);
+	// internal/shard sets this so N shards do not index the same global
+	// dictionary N times.
+	PreparedDict *rlz.Dictionary
 
 	// Block: uncompressed block capacity (0 = one document per block),
 	// compressor, and LZ77 tuning for the lzma stand-in.
@@ -39,7 +46,11 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) backend() Backend {
+// ResolvedBackend returns the backend the options select, normalizing
+// the zero value to its documented default (RLZ) — the single source of
+// truth for callers (e.g. internal/shard) that must agree with NewWriter
+// on what an empty Backend means.
+func (o Options) ResolvedBackend() Backend {
 	if o.Backend == "" {
 		return RLZ
 	}
@@ -58,13 +69,19 @@ func (o Options) workers() int {
 // writers returned here append sequentially (Build adds the per-document
 // parallel pipeline on top).
 func NewWriter(w io.Writer, opts Options) (Writer, error) {
-	switch opts.backend() {
+	switch opts.ResolvedBackend() {
 	case RLZ:
 		codec := opts.Codec
 		if codec == (rlz.PairCodec{}) {
 			codec = rlz.CodecZV
 		}
-		sw, err := store.NewWriter(w, opts.Dict, codec)
+		var sw *store.Writer
+		var err error
+		if opts.PreparedDict != nil {
+			sw, err = store.NewWriterFromDictionary(w, opts.PreparedDict, codec)
+		} else {
+			sw, err = store.NewWriter(w, opts.Dict, codec)
+		}
 		if err != nil {
 			return nil, err
 		}

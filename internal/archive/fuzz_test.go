@@ -1,0 +1,82 @@
+// External test package: importing internal/shard here registers the
+// manifest path-format without an archive <-> shard import cycle, so the
+// fuzzer covers every registered magic including the manifest's.
+package archive_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rlz/internal/archive"
+	"rlz/internal/rlz"
+	"rlz/internal/shard"
+)
+
+// FuzzArchiveOpenBytes throws arbitrary bytes at the auto-detecting
+// opener: no input may panic, any archive that opens must read its
+// documents deterministically, and manifest-magic input must be turned
+// away with ErrNeedsPath rather than parsed. Seeded with valid archives
+// of all three backends, the corrupt-archive corpus shapes (truncated
+// footers, flipped magic, future versions), and a shard manifest.
+func FuzzArchiveOpenBytes(f *testing.F) {
+	docs := make([][]byte, 6)
+	for i := range docs {
+		docs[i] = []byte(fmt.Sprintf("<html><body>document %d shared boilerplate text</body></html>", i))
+	}
+	var collection []byte
+	for _, d := range docs {
+		collection = append(collection, d...)
+	}
+	dict := rlz.SampleEven(collection, len(collection)/4+1, 64)
+	for _, opts := range []archive.Options{
+		{Backend: archive.RLZ, Dict: dict, Codec: rlz.CodecZV},
+		{Backend: archive.Block, BlockSize: 256},
+		{Backend: archive.Raw},
+	} {
+		var buf bytes.Buffer
+		if _, err := archive.Build(&buf, archive.FromBodies(docs), opts); err != nil {
+			f.Fatal(err)
+		}
+		data := buf.Bytes()
+		f.Add(bytes.Clone(data))
+		f.Add(bytes.Clone(data[:len(data)-6])) // truncated footer
+		flipped := bytes.Clone(data)
+		flipped[0] ^= 0xFF
+		f.Add(flipped) // unknown magic
+		versioned := bytes.Clone(data)
+		versioned[4] = 99
+		f.Add(versioned) // future version
+	}
+	m := &shard.Manifest{Backend: archive.RLZ, Shards: []shard.ShardInfo{
+		{Path: "shard-0000", Docs: 3},
+		{Path: "shard-0001", Docs: 3},
+	}}
+	f.Add(m.Marshal(nil))
+	f.Add([]byte("SHRD"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := archive.OpenBytes(data)
+		if err != nil {
+			return
+		}
+		defer r.Close()
+		st := r.Stats()
+		if st.NumDocs != r.NumDocs() {
+			t.Fatalf("Stats().NumDocs %d != NumDocs() %d", st.NumDocs, r.NumDocs())
+		}
+		for id := 0; id < r.NumDocs() && id < 64; id++ {
+			a, errA := r.Get(id)
+			b, errB := r.Get(id)
+			if (errA == nil) != (errB == nil) || !bytes.Equal(a, b) {
+				t.Fatalf("document %d reads non-deterministically", id)
+			}
+			if errA == nil {
+				if _, _, err := r.Extent(id); err != nil {
+					t.Fatalf("document %d decodes but Extent fails: %v", id, err)
+				}
+			}
+		}
+	})
+}

@@ -78,8 +78,12 @@ func Unmarshal(src []byte) (*Map, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("docmap: count: %w", err)
 	}
-	if count > uint64(len(src)) { // each doc needs >= 1 delta byte
-		return nil, 0, fmt.Errorf("docmap: implausible count %d", count)
+	// Each doc needs >= 1 delta byte AFTER the varint count header.
+	// Comparing against len(src) instead of the remaining bytes would let
+	// a hostile footer slip an oversized count past the check and into
+	// the preallocation below (~8x memory per byte of attacker input).
+	if count > uint64(len(src)-pos) {
+		return nil, 0, fmt.Errorf("docmap: implausible count %d with %d delta bytes", count, len(src)-pos)
 	}
 	m := &Map{offsets: make([]uint64, 1, count+1)}
 	var total uint64

@@ -2,8 +2,11 @@ package docmap
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"rlz/internal/coding"
 )
 
 func TestAppendAndExtent(t *testing.T) {
@@ -98,6 +101,44 @@ func TestUnmarshalCorrupt(t *testing.T) {
 	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
 	if _, _, err := Unmarshal(bad); err == nil {
 		t.Error("implausible count accepted")
+	}
+}
+
+// TestUnmarshalCountVsRemainingBytes is the regression test for the
+// plausibility check comparing against len(src) instead of the bytes
+// remaining after the count header: a footer declaring count == len(src)
+// slipped past the old check into the preallocation, even though the
+// deltas can never fit behind the header. The check must reject such
+// input up front (before allocating), not fail later mid-decode.
+func TestUnmarshalCountVsRemainingBytes(t *testing.T) {
+	// count = 3 == len(src), but only 2 delta bytes remain after the
+	// 1-byte header.
+	bad := []byte{0x03, 0x01, 0x01}
+	_, _, err := Unmarshal(bad)
+	if err == nil {
+		t.Fatal("count == len(src) accepted")
+	}
+	if !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("rejected mid-decode (%v), want the up-front implausible-count check", err)
+	}
+
+	// Multi-byte header: count = 200 behind a 2-byte header in exactly
+	// 200 bytes of input — count == len(src) slipped past the old check,
+	// but only 198 delta bytes remain.
+	bad = append(coding.PutUvarint64(nil, 200), make([]byte, 198)...)
+	if len(bad) != 200 {
+		t.Fatalf("test input is %d bytes, want 200", len(bad))
+	}
+	if _, _, err := Unmarshal(bad); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("oversized count past a 2-byte header: %v, want implausible-count", err)
+	}
+
+	// The boundary case stays accepted: count deltas of exactly 1 byte.
+	good := coding.PutUvarint64(nil, 4)
+	good = append(good, 1, 2, 3, 4)
+	m, used, err := Unmarshal(good)
+	if err != nil || used != len(good) || m.Len() != 4 || m.Total() != 10 {
+		t.Errorf("exact-fit map rejected: %v (len %d, total %d)", err, m.Len(), m.Total())
 	}
 }
 

@@ -1,0 +1,40 @@
+package shard
+
+import (
+	"testing"
+
+	"rlz/internal/archive"
+)
+
+// FuzzManifestUnmarshal throws arbitrary bytes at the manifest parser:
+// no input may panic or over-allocate, and any manifest that parses must
+// survive a marshal/unmarshal round trip unchanged.
+func FuzzManifestUnmarshal(f *testing.F) {
+	f.Add((&Manifest{Backend: archive.RLZ, Shards: []ShardInfo{
+		{Path: "shard-0000", Docs: 7},
+		{Path: "shard-0001", Docs: 0},
+	}}).Marshal(nil))
+	f.Add((&Manifest{Backend: archive.Raw, Shards: []ShardInfo{{Path: "x", Docs: 1}}}).Marshal(nil))
+	f.Add([]byte("SHRD"))
+	f.Add([]byte("SHRD\x01\x03raw\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalManifest(data)
+		if err != nil {
+			return
+		}
+		m2, err := UnmarshalManifest(m.Marshal(nil))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if m2.Backend != m.Backend || len(m2.Shards) != len(m.Shards) || m2.NumDocs() != m.NumDocs() {
+			t.Fatalf("round trip changed the manifest: %+v vs %+v", m, m2)
+		}
+		for i := range m.Shards {
+			if m.Shards[i] != m2.Shards[i] {
+				t.Fatalf("shard %d changed across round trip", i)
+			}
+		}
+	})
+}

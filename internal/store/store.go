@@ -86,6 +86,17 @@ func NewWriterPrefactored(w io.Writer, dictData []byte, codec rlz.PairCodec) (*W
 	return newWriter(w, dict, dictData, codec)
 }
 
+// NewWriterFromDictionary starts an archive on w reusing an
+// already-indexed dictionary, whose text is written into the header
+// like any other writer's. N writers sharing one Dictionary pay its
+// O(m) suffix-array construction once instead of N times — the sharded
+// build path, where every shard embeds the same global dictionary.
+// Factorize is safe for concurrent use, so the writers may run on
+// separate goroutines.
+func NewWriterFromDictionary(w io.Writer, dict *rlz.Dictionary, codec rlz.PairCodec) (*Writer, error) {
+	return newWriter(w, dict, dict.Bytes(), codec)
+}
+
 func newWriter(w io.Writer, dict *rlz.Dictionary, dictData []byte, codec rlz.PairCodec) (*Writer, error) {
 	sw := &Writer{
 		w:     countingWriter{w: w},

@@ -91,7 +91,16 @@ type HTTPGetter struct {
 	Client  *http.Client // nil means http.DefaultClient
 }
 
+// errBodyLimit caps how much of a non-200 response body is captured for
+// the error message. Error bodies are read into a throwaway buffer, not
+// the caller's reused one: an unbounded read there would permanently
+// grow every worker's buffer on the first large error page and embed
+// megabytes in the error string.
+const errBodyLimit = 1024
+
 // GetAppend fetches GET {BaseURL}/doc/{id}, appending the body to dst.
+// On a non-200 response dst is returned unchanged (and ungrown) and the
+// error carries at most errBodyLimit bytes of the response body.
 func (h *HTTPGetter) GetAppend(dst []byte, id int) ([]byte, error) {
 	c := h.Client
 	if c == nil {
@@ -102,15 +111,18 @@ func (h *HTTPGetter) GetAppend(dst []byte, id int) ([]byte, error) {
 		return dst, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+		// Drain a bounded remainder so moderate error bodies reach EOF
+		// and the connection stays reusable; a body larger than the
+		// drain budget costs one connection rather than unbounded reads.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		return dst, fmt.Errorf("workload: GET /doc/%d: %s: %s", id, resp.Status, body)
+	}
 	base := len(dst)
 	dst, err = readAppend(dst, resp.Body)
 	if err != nil {
 		return dst[:base], err
-	}
-	if resp.StatusCode != http.StatusOK {
-		body := dst[base:]
-		dst = dst[:base]
-		return dst, fmt.Errorf("workload: GET /doc/%d: %s: %s", id, resp.Status, body)
 	}
 	return dst, nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net/http"
@@ -143,5 +144,44 @@ func TestHTTPGetter(t *testing.T) {
 	res := Run(g, []int{0, 1, 2, 3, 4, 5, 0, 1}, 4)
 	if res.Errors != 0 || res.Requests != 8 {
 		t.Errorf("HTTP load run: %+v", res)
+	}
+}
+
+// TestHTTPGetterCapsErrorBody: a server answering errors with a huge
+// body must neither grow the caller's reused buffer nor produce an
+// error string embedding the whole page — the regression that let one
+// error page permanently inflate every worker's buffer.
+func TestHTTPGetterCapsErrorBody(t *testing.T) {
+	big := bytes.Repeat([]byte("error page filler "), 1<<16) // ~1.2 MiB
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write(big)
+	}))
+	defer ts.Close()
+
+	g := &HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}
+	dst := append(make([]byte, 0, 64), "keep"...)
+	got, err := g.GetAppend(dst, 1)
+	if err == nil {
+		t.Fatal("500 response reported no error")
+	}
+	if string(got) != "keep" {
+		t.Errorf("dst content changed: %q", got)
+	}
+	if cap(got) != cap(dst) {
+		t.Errorf("error response grew the reused buffer: cap %d -> %d", cap(dst), cap(got))
+	}
+	if len(err.Error()) > errBodyLimit+256 {
+		t.Errorf("error string is %d bytes; body capture must be capped near %d", len(err.Error()), errBodyLimit)
+	}
+	if !strings.Contains(err.Error(), "500") || !strings.Contains(err.Error(), "error page filler") {
+		t.Errorf("error lost the status or body prefix: %v", err)
+	}
+
+	// A load run against an all-error server must not accumulate memory
+	// in worker buffers either (each worker keeps reusing its own).
+	res := Run(g, []int{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if res.Errors != 8 {
+		t.Errorf("Errors = %d, want 8", res.Errors)
 	}
 }
