@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,9 +80,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rlz build  -o ARCHIVE [-backend rlz|block|raw] [-workers N] [-shards N] FILE... | -dir DIR | -warc FILE
-             rlz backend:   [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE]
+             rlz backend:   [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE] [-factq 1-3] [-nojump]
              block backend: [-block SIZE] [-alg zlib|lzma]
              -shards N > 1 writes a shard directory; read commands take -a DIR
+             profiling:     [-cpuprofile FILE] [-memprofile FILE]
   rlz get    -a ARCHIVE -id N
   rlz cat    -a ARCHIVE
   rlz stats  -a ARCHIVE
@@ -96,6 +98,10 @@ func cmdBuild(args []string) error {
 	codecName := fs.String("codec", "ZV", "rlz pair codec: ZZ, ZV, UZ, UV (paper) or ZS, US, ZH, UH (extensions)")
 	dictSize := fs.String("dict", "0", "rlz dictionary size (e.g. 1MB); 0 means 1% of the collection")
 	sampleSize := fs.String("sample", "1KB", "rlz dictionary sample length")
+	factQ := fs.Int("factq", 0, "rlz factorization jump-table q-gram width (1-3); 0 means 2 (256^q intervals, 512KB at q=2)")
+	noJump := fs.Bool("nojump", false, "rlz: disable the factorization jump table (A/B baseline; output is identical either way)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the build to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the build to this file")
 	blockSize := fs.String("block", "256KB", "block backend: uncompressed block capacity; 0 means one doc per block")
 	algName := fs.String("alg", "zlib", "block backend compressor: zlib or lzma")
 	workers := fs.Int("workers", 0, "build concurrency; 0 means GOMAXPROCS (output is identical at any count)")
@@ -111,6 +117,40 @@ func cmdBuild(args []string) error {
 	backend, err := archive.ParseBackend(*backendName)
 	if err != nil {
 		return err
+	}
+	if *factQ < 0 || *factQ > 3 {
+		// Reject rather than clamp: a typo'd width would otherwise
+		// silently allocate a table of the wrong size (q=3 is 128MB).
+		return fmt.Errorf("build: -factq %d out of range (want 1-3, or 0 for the default)", *factQ)
+	}
+
+	// Profiling hooks so hot-path work on the build starts from a profile
+	// instead of a guess: -cpuprofile covers the whole build (sampling
+	// pass, factorization pipeline, commit), -memprofile snapshots the
+	// heap after it finishes.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rlz: writing heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	// The document source is re-openable: RLZ dictionary sampling makes
@@ -158,6 +198,7 @@ func cmdBuild(args []string) error {
 		}
 		opts.Dict = dict
 		opts.Codec = codec
+		opts.Factorizer = rlz.FactorizerOptions{Q: *factQ, DisableJump: *noJump}
 	case archive.Block:
 		bs, err := units.ParseSize(*blockSize)
 		if err != nil {

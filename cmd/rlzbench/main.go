@@ -8,9 +8,12 @@
 //	rlzbench -run "Figure 3"
 //	rlzbench -quick -all          # miniature scale (seconds, for smoke tests)
 //	rlzbench -gov 64MB -wiki 32MB -all
+//	rlzbench -json -run "Table 4" # machine-readable results
 //
 // Output is plain aligned text, one block per experiment, in the same
-// row/column layout as the paper.
+// row/column layout as the paper; -csv and -json switch to
+// machine-readable forms (-json feeds perf-trajectory records like
+// BENCH_factorize.json).
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "override random seed")
 		listIt = flag.Bool("list", false, "list available experiments")
 		asCSV  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of aligned text")
 	)
 	flag.Parse()
 
@@ -63,36 +67,55 @@ func main() {
 		for _, r := range experiment.All {
 			fmt.Println(r.ID)
 		}
+	case *all && *asJSON:
+		// One valid JSON document: an array of table objects, not a
+		// concatenation machine consumers would choke on.
+		tables := make([]*experiment.Table, 0, len(experiment.All))
+		for _, r := range experiment.All {
+			tab, err := r.Run(cfg)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", r.ID, err))
+			}
+			tables = append(tables, tab)
+		}
+		if err := experiment.WriteJSONList(os.Stdout, tables); err != nil {
+			fatal(err)
+		}
 	case *all:
 		for _, r := range experiment.All {
-			runOne(r, cfg, *asCSV)
+			runOne(r, cfg, *asCSV, *asJSON)
 		}
 	case *run != "":
 		r, ok := experiment.ByID(*run)
 		if !ok {
 			fatal(fmt.Errorf("unknown experiment %q (try -list)", *run))
 		}
-		runOne(r, cfg, *asCSV)
+		runOne(r, cfg, *asCSV, *asJSON)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(r experiment.Runner, cfg experiment.Config, asCSV bool) {
+func runOne(r experiment.Runner, cfg experiment.Config, asCSV, asJSON bool) {
 	start := time.Now()
 	tab, err := r.Run(cfg)
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", r.ID, err))
 	}
-	if asCSV {
+	switch {
+	case asJSON:
+		if err := tab.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case asCSV:
 		if err := tab.WriteCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
-		return
+	default:
+		tab.Print(os.Stdout)
+		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
-	tab.Print(os.Stdout)
-	fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

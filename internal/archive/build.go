@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 
 	"rlz/internal/blockstore"
 	"rlz/internal/lz77"
@@ -32,6 +33,12 @@ type Options struct {
 	// internal/shard sets this so N shards do not index the same global
 	// dictionary N times.
 	PreparedDict *rlz.Dictionary
+	// Factorizer tunes the RLZ fast factorization engine (jump-table
+	// q-gram width, off-switch for A/B runs). The zero value selects the
+	// defaults; any setting produces byte-identical archives — it changes
+	// build speed only. The jump table is built once per dictionary and
+	// shared by all workers (and, via PreparedDict, all shards).
+	Factorizer rlz.FactorizerOptions
 
 	// Block: uncompressed block capacity (0 = one document per block),
 	// compressor, and LZ77 tuning for the lzma stand-in.
@@ -85,6 +92,7 @@ func NewWriter(w io.Writer, opts Options) (Writer, error) {
 		if err != nil {
 			return nil, err
 		}
+		sw.ConfigureFactorizer(opts.Factorizer)
 		return rlzWriter{sw}, nil
 	case Block:
 		bw, err := blockstore.NewWriter(w, blockstore.Options{
@@ -147,12 +155,20 @@ func build(aw Writer, src DocSource, opts Options) (BuildResult, error) {
 	var res BuildResult
 
 	if rw, ok := aw.(rlzWriter); ok && opts.workers() > 1 {
-		// RLZ fast path: the dictionary is immutable during the build,
-		// so factorize+encode parallelizes per document.
+		// RLZ fast path: the dictionary is immutable during the build, so
+		// factorize+encode parallelizes per document. Each pipeline worker
+		// runs its own Factorizer (drawn from a pool, since the ordered
+		// pipeline shares one work closure) over the shared dictionary
+		// index and jump table.
 		dict, codec := rw.Dictionary(), rw.Codec()
+		fopts := rw.FactorizerOptions()
+		fzPool := sync.Pool{New: func() any { return rlz.NewFactorizer(dict, fopts) }}
 		pipe := pipeline.NewOrdered(opts.workers(),
 			func(doc []byte) ([]byte, error) {
-				return codec.Encode(nil, dict.Factorize(doc, nil)), nil
+				fz := fzPool.Get().(*rlz.Factorizer)
+				rec := codec.Encode(nil, fz.Factorize(doc, nil))
+				fzPool.Put(fz)
+				return rec, nil
 			},
 			func(rec []byte) error {
 				_, err := rw.AppendEncoded(rec)

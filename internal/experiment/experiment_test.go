@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -242,5 +243,33 @@ func TestByteLabel(t *testing.T) {
 		if got := byteLabel(n); got != want {
 			t.Errorf("byteLabel(%d) = %q, want %q", n, got, want)
 		}
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tab := &Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string              `json:"id"`
+		Title  string              `json:"title"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.ID != "Table X" || got.Title != "demo" || len(got.Rows) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Rows[1]["b"] != "4" {
+		t.Errorf(`rows[1]["b"] = %q, want "4"`, got.Rows[1]["b"])
 	}
 }

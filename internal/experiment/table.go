@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -69,6 +70,52 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// jsonTable is the machine-readable form of a Table: id, title, the
+// header, and one string-keyed object per row (keys are the header
+// cells).
+type jsonTable struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+}
+
+func (t *Table) toJSON() jsonTable {
+	rows := make([]map[string]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, c := range row {
+			if i < len(t.Header) {
+				m[t.Header[i]] = c
+			}
+		}
+		rows = append(rows, m)
+	}
+	return jsonTable{t.ID, t.Title, t.Header, rows}
+}
+
+// WriteJSON emits the table as one machine-readable JSON object, so
+// downstream tooling — perf-trajectory files like BENCH_factorize.json,
+// dashboards, regression gates — consumes results without scraping
+// aligned text.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.toJSON())
+}
+
+// WriteJSONList emits several tables as a single JSON array — one valid
+// document, the shape `rlzbench -json -all` produces.
+func WriteJSONList(w io.Writer, tables []*Table) error {
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = t.toJSON()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func pad(s string, w int) string {

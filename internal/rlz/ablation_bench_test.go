@@ -16,10 +16,10 @@ func benchCollection(b *testing.B) *corpus.Collection {
 	return corpus.Generate(corpus.Gov, 2<<20, 5)
 }
 
-// BenchmarkAblationRefine compares the paper's factorizer (binary-search
-// Refine with the single-suffix fast path) against a variant that keeps
-// binary-searching even when one candidate remains. The fast path is the
-// csp2-style optimization §3.2 alludes to.
+// BenchmarkAblationRefine dissects the factorization engine: the full
+// fast path (jump table + boundary skip + inlined search + csp2
+// extension), the engine with the jump table disabled, a q=1 table, and
+// the paper's pure binary-search factorizer as the floor.
 func BenchmarkAblationRefine(b *testing.B) {
 	c := benchCollection(b)
 	dictData := SampleEven(c.Bytes(), 64<<10, 1<<10)
@@ -28,20 +28,24 @@ func BenchmarkAblationRefine(b *testing.B) {
 		b.Fatal(err)
 	}
 	doc := c.Docs[0].Body
-	b.Run("fast-path", func(b *testing.B) {
-		b.SetBytes(int64(len(doc)))
-		var fs []Factor
-		for i := 0; i < b.N; i++ {
-			fs = d.Factorize(doc, fs[:0])
-		}
-	})
-	b.Run("binary-search-only", func(b *testing.B) {
-		b.SetBytes(int64(len(doc)))
-		var fs []Factor
-		for i := 0; i < b.N; i++ {
-			fs = d.factorizeNoFastPath(doc, fs[:0])
-		}
-	})
+	variants := []struct {
+		name string
+		run  func(doc []byte, fs []Factor) []Factor
+	}{
+		{"fast-path", func(doc []byte, fs []Factor) []Factor { return d.Factorize(doc, fs) }},
+		{"no-jump-table", NewFactorizer(d, FactorizerOptions{DisableJump: true}).Factorize},
+		{"jump-q1", NewFactorizer(d, FactorizerOptions{Q: 1}).Factorize},
+		{"binary-search-only", d.factorizeNoFastPath},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			var fs []Factor
+			for i := 0; i < b.N; i++ {
+				fs = v.run(doc, fs[:0])
+			}
+		})
+	}
 }
 
 // BenchmarkAblationSampling compares dictionary construction policies at
@@ -81,24 +85,30 @@ func BenchmarkAblationSampling(b *testing.B) {
 	}
 }
 
-// BenchmarkFactorize measures raw factorization throughput across
-// dictionary sizes (the n log m term of §3.2).
+// BenchmarkFactorize measures raw factorization throughput across both
+// synthetic collection profiles and several dictionary sizes (the
+// n log m term of §3.2). BENCH_factorize.json records its trajectory.
 func BenchmarkFactorize(b *testing.B) {
-	c := benchCollection(b)
-	collection := c.Bytes()
-	doc := c.Docs[1].Body
-	for _, dictSize := range []int{16 << 10, 64 << 10, 256 << 10} {
-		d, err := NewDictionary(SampleEven(collection, dictSize, 1<<10))
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(fmt.Sprintf("dict-%dKB", dictSize>>10), func(b *testing.B) {
-			b.SetBytes(int64(len(doc)))
-			var fs []Factor
-			for i := 0; i < b.N; i++ {
-				fs = d.Factorize(doc, fs[:0])
+	for _, prof := range []struct {
+		name string
+		p    corpus.Profile
+	}{{"gov", corpus.Gov}, {"wiki", corpus.Wiki}} {
+		c := corpus.Generate(prof.p, 2<<20, 5)
+		collection := c.Bytes()
+		doc := c.Docs[1].Body
+		for _, dictSize := range []int{16 << 10, 64 << 10, 256 << 10} {
+			d, err := NewDictionary(SampleEven(collection, dictSize, 1<<10))
+			if err != nil {
+				b.Fatal(err)
 			}
-		})
+			b.Run(fmt.Sprintf("%s/dict-%dKB", prof.name, dictSize>>10), func(b *testing.B) {
+				b.SetBytes(int64(len(doc)))
+				var fs []Factor
+				for i := 0; i < b.N; i++ {
+					fs = d.Factorize(doc, fs[:0])
+				}
+			})
+		}
 	}
 }
 

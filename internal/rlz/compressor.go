@@ -10,6 +10,7 @@ package rlz
 // compressing goroutine (or use Dictionary.Factorize directly).
 type Compressor struct {
 	dict    *Dictionary
+	fz      *Factorizer
 	codec   PairCodec
 	factors []Factor
 }
@@ -21,14 +22,16 @@ func NewCompressor(dictData []byte, codec PairCodec) (*Compressor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compressor{dict: dict, codec: codec}, nil
+	return &Compressor{dict: dict, fz: NewFactorizer(dict, FactorizerOptions{}), codec: codec}, nil
 }
 
 // NewCompressorFromDictionary shares an existing dictionary, avoiding a
 // second suffix-array build; the usual way to create one Compressor per
-// worker goroutine.
+// worker goroutine. Each Compressor carries its own Factorizer, but the
+// dictionary's jump table is shared, so N workers pay its construction
+// once.
 func NewCompressorFromDictionary(dict *Dictionary, codec PairCodec) *Compressor {
-	return &Compressor{dict: dict, codec: codec}
+	return &Compressor{dict: dict, fz: NewFactorizer(dict, FactorizerOptions{}), codec: codec}
 }
 
 // Dictionary returns the underlying dictionary.
@@ -40,7 +43,7 @@ func (c *Compressor) Codec() PairCodec { return c.codec }
 // Compress appends the encoded form of doc to dst. The output is one
 // self-delimiting record (the same framing the store's payload uses).
 func (c *Compressor) Compress(dst, doc []byte) []byte {
-	c.factors = c.dict.Factorize(doc, c.factors[:0])
+	c.factors = c.fz.Factorize(doc, c.factors[:0])
 	return c.codec.Encode(dst, c.factors)
 }
 

@@ -37,6 +37,15 @@ type Dictionary struct {
 	data []byte
 	once sync.Once
 	sa   *suffix.Array
+
+	// Fast factorization engine state, all lazily built: the q-gram jump
+	// tables, shared by every Factorizer over this dictionary (keyed by
+	// width so an off-default -factq build does not evict the default),
+	// and a pool of ready default-tuned Factorizers so Factorize never
+	// pays table resolution per call.
+	tmu    sync.Mutex
+	tables map[int]*suffix.PrefixTable
+	fzPool sync.Pool // of *Factorizer with default FactorizerOptions
 }
 
 // ErrEmptyDictionary is returned when building a dictionary from no data.
@@ -91,6 +100,25 @@ func NewDictionaryFromParts(data []byte, sa []int32) (*Dictionary, error) {
 func (d *Dictionary) index() *suffix.Array {
 	d.once.Do(func() { d.sa = suffix.New(d.data) })
 	return d.sa
+}
+
+// prefixTable returns the dictionary's q-gram jump table of the given
+// width, building it on first use. The table is immutable and shared: N
+// factorizers (e.g. one per shard-build worker) asking for the same
+// width get one table, built once.
+func (d *Dictionary) prefixTable(q int) *suffix.PrefixTable {
+	q = suffix.ClampPrefixQ(q)
+	d.tmu.Lock()
+	defer d.tmu.Unlock()
+	if t := d.tables[q]; t != nil {
+		return t
+	}
+	t := suffix.NewPrefixTable(d.index(), q)
+	if d.tables == nil {
+		d.tables = make(map[int]*suffix.PrefixTable)
+	}
+	d.tables[q] = t
+	return t
 }
 
 // Bytes returns the dictionary text. Callers must not mutate it.

@@ -38,45 +38,20 @@ var ErrBadFactor = errors.New("rlz: factor references outside dictionary")
 //
 // This is the Encode/Factor pair of the paper's Figure 1: at each position
 // the longest prefix of the remaining input that occurs in the dictionary
-// becomes a factor, located by successive Refine calls (binary searches)
-// on the dictionary's suffix array; if even the first byte is absent, the
-// byte is emitted as a literal. Documents are factorized whole — the
-// paper's "stop at a document boundary" rule is realized by calling
-// Factorize once per document.
+// becomes a factor; if even the first byte is absent, the byte is emitted
+// as a literal. Documents are factorized whole — the paper's "stop at a
+// document boundary" rule is realized by calling Factorize once per
+// document. Factors are located by the fast engine (a default-tuned
+// Factorizer drawn from a per-dictionary pool); output is byte-identical
+// to the pure binary-search path, which survives as factorizeNoFastPath
+// and is held equal by differential and fuzz tests.
 func (d *Dictionary) Factorize(doc []byte, factors []Factor) []Factor {
-	sa := d.index()
-	text := sa.Text()
-	n := len(doc)
-	for i := 0; i < n; {
-		iv := sa.All()
-		depth := 0
-		// Phase 1: narrow the interval by binary search while more than
-		// one suffix remains.
-		for i+depth < n && iv.Size() > 1 {
-			next := sa.Refine(iv, int32(depth), doc[i+depth])
-			if next.Empty() {
-				break
-			}
-			iv = next
-			depth++
-		}
-		if depth == 0 {
-			factors = append(factors, Factor{Pos: uint32(doc[i]), Len: 0})
-			i++
-			continue
-		}
-		// Phase 2 (the csp2-style fast path the paper describes for
-		// lb == rb): a single candidate suffix remains, so extend the
-		// match by direct byte comparison instead of binary searches.
-		if iv.Size() == 1 {
-			p := int(sa.SA()[iv.Lo])
-			for i+depth < n && p+depth < len(text) && text[p+depth] == doc[i+depth] {
-				depth++
-			}
-		}
-		factors = append(factors, Factor{Pos: uint32(sa.SA()[iv.Lo]), Len: uint32(depth)})
-		i += depth
+	f, _ := d.fzPool.Get().(*Factorizer)
+	if f == nil {
+		f = NewFactorizer(d, FactorizerOptions{})
 	}
+	factors = f.Factorize(doc, factors)
+	d.fzPool.Put(f)
 	return factors
 }
 
@@ -116,10 +91,11 @@ func DecodedLen(factors []Factor) int {
 	return n
 }
 
-// factorizeNoFastPath is Factorize without the single-suffix direct
-// extension: every character of every factor is matched by binary search.
-// It exists for the Refine ablation bench, quantifying what the csp2-style
-// fast path buys.
+// factorizeNoFastPath is the paper's Figure 1 verbatim: no jump table, no
+// single-suffix direct extension — every character of every factor is
+// matched by binary search from the full interval. It is the reference
+// implementation the fast engine is held byte-identical to (differential
+// tests and FuzzFactorizeEquivalence), and the Refine ablation baseline.
 func (d *Dictionary) factorizeNoFastPath(doc []byte, factors []Factor) []Factor {
 	sa := d.index()
 	n := len(doc)

@@ -1,0 +1,223 @@
+package rlz
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"rlz/internal/suffix"
+)
+
+// FactorizerOptions tunes the fast factorization engine. The zero value
+// selects the defaults (q=2 jump table enabled) and is what every build
+// path uses unless told otherwise.
+type FactorizerOptions struct {
+	// Q is the jump table's q-gram width: the table holds 256^Q suffix
+	// intervals (8 bytes each), so Q=2 — the default, selected by 0 —
+	// costs a fixed 512 KiB and Q=3 costs 128 MiB. Values are normalized
+	// by suffix.ClampPrefixQ.
+	Q int
+	// DisableJump turns the q-gram jump table off, leaving only the
+	// closure-free Refine and the csp2-style single-candidate extension —
+	// the A/B switch for measuring what the table buys.
+	DisableJump bool
+}
+
+// linearThreshold is the interval size at or below which the factorizer's
+// inlined search scans slots sequentially instead of binary-searching;
+// see suffix.Refine for the same trade-off in the exported primitive.
+const linearThreshold = 48
+
+// Factorizer is a reusable factorization engine over one dictionary: the
+// suffix-array view, the shared q-gram jump table (see
+// suffix.PrefixTable), and the tuning chosen at construction. Building
+// one is cheap — the jump table is built once per (dictionary, Q) and
+// shared — but not free, so parallel build pipelines keep one Factorizer
+// per worker (see internal/archive) rather than one per document.
+//
+// A Factorizer is stateless across calls and safe for concurrent use;
+// per-worker instances exist to amortize construction, not to guard
+// mutable state. Factorize output is byte-identical to
+// Dictionary.Factorize for every input, whatever the tuning — the jump
+// table only replaces the first q Refine steps with an O(1) lookup that
+// lands on the interval those steps would have produced.
+type Factorizer struct {
+	dict  *Dictionary
+	sa    *suffix.Array
+	table *suffix.PrefixTable // nil when the jump table is disabled
+	q     int32               // table width; 0 when disabled
+}
+
+// NewFactorizer prepares a factorization engine over dict. The jump
+// table for the requested width is built on first use per dictionary and
+// shared by every Factorizer (and every Dictionary.Factorize call) that
+// asks for the same width.
+func NewFactorizer(dict *Dictionary, opts FactorizerOptions) *Factorizer {
+	f := &Factorizer{dict: dict, sa: dict.index()}
+	if !opts.DisableJump {
+		f.table = dict.prefixTable(suffix.ClampPrefixQ(opts.Q))
+		f.q = int32(f.table.Q())
+	}
+	return f
+}
+
+// Dictionary returns the dictionary this engine factorizes against.
+func (f *Factorizer) Dictionary() *Dictionary { return f.dict }
+
+// matchLen returns the length of the longest common prefix of a and b,
+// comparing eight bytes per step — the sequential half of the engine's
+// cost (boundary skips and single-candidate extension) runs through it.
+func matchLen(a, b []byte) int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i+8 <= n {
+		if x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]); x != 0 {
+			return int32(i + bits.TrailingZeros64(x)>>3)
+		}
+		i += 8
+	}
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return int32(i)
+}
+
+// Factorize appends the RLZ factorization of doc relative to the
+// dictionary to factors and returns the extended slice — the same
+// contract, and byte-for-byte the same output, as Dictionary.Factorize.
+//
+// This is the paper's Figure 1 loop with the hot path flattened:
+//
+//   - each factor opens with an O(1) jump-table lookup to the depth-q
+//     interval (falling back to narrowing from the full array when fewer
+//     than q bytes remain or the q-gram does not occur in the dictionary);
+//   - the interval's boundary suffixes absorb shared prefixes: while both
+//     boundaries match the next pattern bytes every suffix between them
+//     does too, so depth advances by sequential eight-byte compares with
+//     no search at all;
+//   - when the boundaries diverge, one equal_range-style closure-free
+//     binary search (linear scan below linearThreshold) narrows the
+//     interval, which strictly shrinks — the diverging boundary drops out
+//     — so the skip/narrow alternation terminates;
+//   - a single surviving candidate switches to direct extension
+//     (csp2-style, as before, now eight bytes per step).
+func (f *Factorizer) Factorize(doc []byte, factors []Factor) []Factor {
+	text, slots := f.sa.Text(), f.sa.SA()
+	m := int32(len(text))
+	n := int32(len(doc))
+	q := f.q
+	// The whole search runs on (lo, hi) locals with the bound searches
+	// inlined — one Refine-sized function call per character showed up as
+	// a top cost in the build profile, and the suffix-array probes here
+	// are the innermost loop of every archive build.
+	for i := int32(0); i < n; {
+		var lo, hi, depth int32
+		if q > 0 && n-i >= q {
+			code := int(doc[i])
+			for j := int32(1); j < q; j++ {
+				code = code<<8 | int(doc[i+j])
+			}
+			if jlo, jhi := f.table.IntervalCode(code); jlo < jhi {
+				lo, hi, depth = jlo, jhi, q
+			} else {
+				hi = int32(len(slots))
+			}
+		} else {
+			hi = int32(len(slots))
+		}
+		for i+depth < n && hi-lo > 1 {
+			// Boundary skip (see the doc comment): capped at the lower
+			// boundary's match length, then at the upper's.
+			if k := matchLen(text[slots[lo]+depth:], doc[i+depth:n]); k > 0 {
+				depth += matchLen(text[slots[hi-1]+depth:], doc[i+depth:i+depth+k])
+				if i+depth >= n {
+					break
+				}
+			}
+			c := doc[i+depth]
+			l, h := lo, hi
+			var newLo, newHi int32
+			for {
+				if h-l <= linearThreshold {
+					// Small range: sequential scan beats further probes.
+					k := l
+					for k < h {
+						if p := slots[k] + depth; p < m && text[p] >= c {
+							break
+						}
+						k++
+					}
+					newLo = k
+					for k < h {
+						if p := slots[k] + depth; p >= m || text[p] != c {
+							break
+						}
+						k++
+					}
+					newHi = k
+					break
+				}
+				// equal_range: one probe sequence until a slot holding c
+				// is hit, then bound the run from both sides within the
+				// halves — ~1.5 log probes instead of 2 log. An exhausted
+				// suffix (p >= m) sorts before every character.
+				mid := int32(uint32(l+h) >> 1)
+				p := slots[mid] + depth
+				if p >= m || text[p] < c {
+					l = mid + 1
+					continue
+				}
+				if text[p] > c {
+					h = mid
+					continue
+				}
+				lb, lh := l, mid
+				for lb < lh {
+					m2 := int32(uint32(lb+lh) >> 1)
+					if p2 := slots[m2] + depth; p2 < m && text[p2] >= c {
+						lh = m2
+					} else {
+						lb = m2 + 1
+					}
+				}
+				newLo = lb
+				ub, uh := mid+1, h
+				for ub < uh {
+					m2 := int32(uint32(ub+uh) >> 1)
+					if p2 := slots[m2] + depth; p2 < m && text[p2] > c {
+						uh = m2
+					} else {
+						ub = m2 + 1
+					}
+				}
+				newHi = ub
+				break
+			}
+			if newLo >= newHi {
+				break
+			}
+			lo, hi = newLo, newHi
+			depth++
+		}
+		// One candidate suffix left: extend by direct comparison
+		// (csp2-style, now eight bytes per step). Running it before the
+		// literal check matters for the depth == 0 corner — a one-byte
+		// dictionary starts at a size-1 interval with nothing matched yet,
+		// and matchLen from depth 0 is exactly the verification the
+		// reference path's first Refine performs.
+		p := slots[lo]
+		if hi-lo == 1 && i+depth < n && p+depth < m {
+			depth += matchLen(text[p+depth:], doc[i+depth:n])
+		}
+		if depth == 0 {
+			factors = append(factors, Factor{Pos: uint32(doc[i]), Len: 0})
+			i++
+			continue
+		}
+		factors = append(factors, Factor{Pos: uint32(p), Len: uint32(depth)})
+		i += depth
+	}
+	return factors
+}

@@ -1,0 +1,141 @@
+package rlz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rlz/internal/corpus"
+)
+
+// engines returns every cheap configuration of the fast factorization
+// engine that must produce byte-identical factors, labeled for failure
+// messages. q=3 (a 128 MiB table per dictionary) is covered separately by
+// the corpus test, which uses few dictionaries.
+func engines(d *Dictionary) []struct {
+	name string
+	run  func(doc []byte) []Factor
+} {
+	return []struct {
+		name string
+		run  func(doc []byte) []Factor
+	}{
+		{"dictionary-pooled", func(doc []byte) []Factor { return d.Factorize(doc, nil) }},
+		{"factorizer-default", func(doc []byte) []Factor { return NewFactorizer(d, FactorizerOptions{}).Factorize(doc, nil) }},
+		{"factorizer-q1", func(doc []byte) []Factor { return NewFactorizer(d, FactorizerOptions{Q: 1}).Factorize(doc, nil) }},
+		{"factorizer-nojump", func(doc []byte) []Factor {
+			return NewFactorizer(d, FactorizerOptions{DisableJump: true}).Factorize(doc, nil)
+		}},
+	}
+}
+
+func diffFactors(t *testing.T, label string, got, want []Factor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d factors, reference %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: factor %d = %v, reference %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFactorizerEquivalenceCorpus holds every engine configuration
+// byte-identical to factorizeNoFastPath — the paper's pure binary-search
+// factorizer — on both synthetic collection profiles, across dictionary
+// sizes small enough to force literals and partial matches.
+func TestFactorizerEquivalenceCorpus(t *testing.T) {
+	for _, prof := range []corpus.Profile{corpus.Gov, corpus.Wiki} {
+		c := corpus.Generate(prof, 256<<10, 3)
+		collection := c.Bytes()
+		for _, dictSize := range []int{512, 16 << 10} {
+			d := mustDict(t, SampleEven(collection, dictSize, 256))
+			fz3 := NewFactorizer(d, FactorizerOptions{Q: 3})
+			for _, doc := range c.Docs[:min(len(c.Docs), 6)] {
+				want := d.factorizeNoFastPath(doc.Body, nil)
+				for _, e := range engines(d) {
+					diffFactors(t, prof.Name+"/"+e.name, e.run(doc.Body), want)
+				}
+				diffFactors(t, prof.Name+"/factorizer-q3", fz3.Factorize(doc.Body, nil), want)
+			}
+		}
+	}
+}
+
+// TestFactorizerEquivalenceRandom drives the engines over random
+// dictionaries and documents on tiny alphabets (maximizing deep suffix
+// ties, boundary-skip hits, and exhausted-suffix corner cases) plus
+// documents containing bytes absent from the dictionary (literal path).
+func TestFactorizerEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		sigma := 2 + rng.Intn(4)
+		dictData := make([]byte, 1+rng.Intn(400))
+		for i := range dictData {
+			dictData[i] = byte('a' + rng.Intn(sigma))
+		}
+		doc := make([]byte, rng.Intn(300))
+		for i := range doc {
+			doc[i] = byte('a' + rng.Intn(sigma+1)) // one byte outside the dictionary alphabet
+		}
+		d := mustDict(t, dictData)
+		want := d.factorizeNoFastPath(doc, nil)
+		for _, e := range engines(d) {
+			diffFactors(t, e.name, e.run(doc), want)
+		}
+		// Cross-check greedy maximality against the quadratic scanner:
+		// factor count and lengths must agree (positions may differ — the
+		// engine reports the lexicographically smallest occurrence, the
+		// naive scanner the leftmost).
+		naive := d.FactorizeNaive(doc)
+		if len(naive) != len(want) {
+			t.Fatalf("trial %d: %d factors, naive %d", trial, len(want), len(naive))
+		}
+		for i := range naive {
+			if naive[i].Len != want[i].Len {
+				t.Fatalf("trial %d factor %d: len %d, naive len %d", trial, i, want[i].Len, naive[i].Len)
+			}
+		}
+		// And the factorization must still round-trip.
+		dec, err := d.Decode(nil, want)
+		if err != nil || !bytes.Equal(dec, doc) {
+			t.Fatalf("trial %d: round trip failed: %v", trial, err)
+		}
+	}
+}
+
+// TestFactorizerAppendsToBuffer checks the append contract matches
+// Dictionary.Factorize's.
+func TestFactorizerAppendsToBuffer(t *testing.T) {
+	d := mustDict(t, []byte("abcabc"))
+	fz := NewFactorizer(d, FactorizerOptions{})
+	buf := fz.Factorize([]byte("ab"), nil)
+	n := len(buf)
+	buf = fz.Factorize([]byte("bc"), buf)
+	if len(buf) <= n {
+		t.Fatalf("second Factorize did not append: %v", buf)
+	}
+	if fz.Dictionary() != d {
+		t.Error("Dictionary() returned a different dictionary")
+	}
+}
+
+// TestFactorizerSharesJumpTables verifies that factorizers over one
+// dictionary share one table per width (the sharded-build property: N
+// workers, one 512 KiB table).
+func TestFactorizerSharesJumpTables(t *testing.T) {
+	d := mustDict(t, []byte("the quick brown fox"))
+	a := NewFactorizer(d, FactorizerOptions{})
+	b := NewFactorizer(d, FactorizerOptions{Q: 2})
+	if a.table != b.table {
+		t.Error("same-width factorizers built distinct tables")
+	}
+	c := NewFactorizer(d, FactorizerOptions{Q: 1})
+	if c.table == a.table {
+		t.Error("different widths shared one table")
+	}
+	if n := NewFactorizer(d, FactorizerOptions{DisableJump: true}); n.table != nil {
+		t.Error("DisableJump still built a table")
+	}
+}

@@ -1,0 +1,57 @@
+package rlz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFactorizeEquivalence holds the fast factorization engine (jump
+// table + boundary skip + inlined interval search, at several q widths)
+// byte-identical to factorizeNoFastPath — the paper's pure binary-search
+// factorizer — on arbitrary dictionary/document pairs, and checks the
+// factors still round-trip through Decode. Any divergence is a
+// correctness bug in the engine, not a tuning regression.
+func FuzzFactorizeEquivalence(f *testing.F) {
+	f.Add([]byte("abaacabbabcc"), []byte("bbaancabb"))
+	f.Add([]byte("the quick brown fox"), []byte("the lazy dog jumps the fox"))
+	f.Add([]byte("aaaaaaaa"), []byte("aaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add([]byte{0}, []byte{0, 0, 1, 255})
+	f.Add([]byte("ab"), []byte(""))
+	f.Add(bytes.Repeat([]byte("ab"), 40), bytes.Repeat([]byte("aab"), 30))
+	f.Fuzz(func(t *testing.T, dictData, doc []byte) {
+		if len(dictData) == 0 || len(dictData) > 1<<14 || len(doc) > 1<<14 {
+			t.Skip()
+		}
+		d, err := NewDictionary(dictData)
+		if err != nil {
+			t.Skip()
+		}
+		want := d.factorizeNoFastPath(doc, nil)
+		// q=3 is exercised by TestFactorizerEquivalenceCorpus instead: its
+		// 128 MiB table per fresh dictionary is too heavy per fuzz input.
+		for _, opts := range []FactorizerOptions{
+			{},
+			{Q: 1},
+			{DisableJump: true},
+		} {
+			got := NewFactorizer(d, opts).Factorize(doc, nil)
+			if len(got) != len(want) {
+				t.Fatalf("opts %+v: %d factors, reference %d (dict %q doc %q)",
+					opts, len(got), len(want), dictData, doc)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("opts %+v: factor %d = %v, reference %v (dict %q doc %q)",
+						opts, i, got[i], want[i], dictData, doc)
+				}
+			}
+		}
+		dec, err := d.Decode(nil, want)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(dec, doc) {
+			t.Fatalf("round trip: got %q, want %q", dec, doc)
+		}
+	})
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// Shards; below that, every shard still gets its one mandatory
 	// worker and the effective total is Shards. The output is
 	// byte-identical for a fixed shard count at any worker count.
+	//
+	// For the RLZ backend, Archive.Factorizer tunes the fast
+	// factorization engine of every shard's pipeline: each shard-build
+	// worker runs its own rlz.Factorizer, all sharing the one dictionary
+	// index and q-gram jump table carried by the shared PreparedDict.
 	Archive archive.Options
 }
 

@@ -44,6 +44,8 @@ type Writer struct {
 	w       countingWriter
 	dict    *rlz.Dictionary
 	codec   rlz.PairCodec
+	fopts   rlz.FactorizerOptions
+	fz      *rlz.Factorizer // lazy: prefactored writers never factorize
 	m       *docmap.Map
 	stats   *rlz.Stats
 	factors []rlz.Factor // reused across Appends
@@ -127,12 +129,31 @@ func (w *Writer) Dictionary() *rlz.Dictionary { return w.dict }
 // encode records off-thread and commit them with AppendEncoded.
 func (w *Writer) Codec() rlz.PairCodec { return w.codec }
 
+// ConfigureFactorizer selects the factorization engine tuning (jump-table
+// q-gram width, off-switch) for subsequent Appends. It must be called
+// before the first Append; the tuning changes speed only — factor output
+// is byte-identical at any setting.
+func (w *Writer) ConfigureFactorizer(opts rlz.FactorizerOptions) {
+	w.fopts = opts
+	w.fz = nil
+}
+
+// FactorizerOptions returns the engine tuning Appends use, so external
+// build pipelines (archive.Build) can run matching per-worker engines.
+func (w *Writer) FactorizerOptions() rlz.FactorizerOptions { return w.fopts }
+
 // Append factorizes doc and writes its record, returning the document ID.
 func (w *Writer) Append(doc []byte) (int, error) {
 	if w.closed {
 		return 0, errors.New("store: append to closed writer")
 	}
-	w.factors = w.dict.Factorize(doc, w.factors[:0])
+	if w.fz == nil {
+		// Lazy: a prefactored or encoded-record writer never factorizes,
+		// so the engine (and a decode-only dictionary's suffix array) is
+		// only built when a document actually needs it.
+		w.fz = rlz.NewFactorizer(w.dict, w.fopts)
+	}
+	w.factors = w.fz.Factorize(doc, w.factors[:0])
 	return w.appendFactors(w.factors)
 }
 

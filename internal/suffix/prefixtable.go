@@ -1,0 +1,106 @@
+package suffix
+
+// PrefixTable is a precomputed q-gram jump table over an Array: for every
+// possible q-byte string g it stores the suffix-array interval of suffixes
+// having g as a prefix. A factorizer consults it to start each factor at
+// depth q in O(1) instead of spending ~2·q binary searches descending from
+// Array.All() — the dominant per-factor cost when factors are short, which
+// they are for web collections against a sampled dictionary.
+//
+// The table holds two int32 slices of 256^q entries each, so q=2 (the
+// default) costs 4·2·65,536 bytes = 512 KiB regardless of text size, and
+// q=3 costs 128 MiB — worth it only for very large dictionaries. Lookup
+// results are exactly the interval a chain of q Refine calls from All()
+// would produce, so substituting a jump for the chain cannot change any
+// factorization (see rlz's differential tests).
+//
+// A PrefixTable is immutable after construction and safe for concurrent
+// readers sharing one instance.
+type PrefixTable struct {
+	q  int
+	lo []int32
+	hi []int32
+}
+
+// Jump-table q-gram width bounds. Widths outside [MinPrefixQ, MaxPrefixQ]
+// are clamped: the table has 256^q entries, so q=4 would already cost
+// 32 GiB.
+const (
+	MinPrefixQ     = 1
+	DefaultPrefixQ = 2
+	MaxPrefixQ     = 3
+)
+
+// ClampPrefixQ normalizes a requested q-gram width: 0 (and any negative
+// value) selects DefaultPrefixQ; larger values are clamped to MaxPrefixQ.
+func ClampPrefixQ(q int) int {
+	if q <= 0 {
+		return DefaultPrefixQ
+	}
+	if q > MaxPrefixQ {
+		return MaxPrefixQ
+	}
+	return q
+}
+
+// NewPrefixTable builds the jump table for a with q-gram width q
+// (normalized by ClampPrefixQ) in one O(n) scan of the suffix array.
+func NewPrefixTable(a *Array, q int) *PrefixTable {
+	q = ClampPrefixQ(q)
+	size := 1 << (8 * q)
+	t := &PrefixTable{q: q, lo: make([]int32, size), hi: make([]int32, size)}
+	text, sa := a.text, a.sa
+	n := int32(len(text))
+	// Suffixes sharing a q-byte prefix occupy one contiguous run of the
+	// lexicographically ordered suffix array; suffixes shorter than q sort
+	// before any run they prefix and are skipped. Never-seen codes keep
+	// the zero value {0, 0}, an empty interval.
+	prev := -1
+	for i, p := range sa {
+		if p+int32(q) > n {
+			continue
+		}
+		code := 0
+		for j := int32(0); j < int32(q); j++ {
+			code = code<<8 | int(text[p+j])
+		}
+		if code != prev {
+			t.lo[code] = int32(i)
+			prev = code
+		}
+		t.hi[code] = int32(i) + 1
+	}
+	return t
+}
+
+// Q returns the table's q-gram width.
+func (t *PrefixTable) Q() int { return t.q }
+
+// MemoryBytes returns the table's fixed memory footprint.
+func (t *PrefixTable) MemoryBytes() int { return 8 * len(t.lo) }
+
+// LookupCode returns the interval of suffixes whose first q bytes spell
+// code (big-endian, one byte per q-gram position). The caller must have
+// composed code from exactly q bytes.
+func (t *PrefixTable) LookupCode(code int) Interval {
+	return Interval{t.lo[code], t.hi[code]}
+}
+
+// IntervalCode is LookupCode returning raw bounds — the allocation- and
+// struct-free form the factorizer's inner loop uses.
+func (t *PrefixTable) IntervalCode(code int) (lo, hi int32) {
+	return t.lo[code], t.hi[code]
+}
+
+// Lookup returns the interval of suffixes having g as a prefix. g must be
+// exactly q bytes long; shorter or longer slices return the empty interval.
+func (t *PrefixTable) Lookup(g []byte) Interval {
+	if len(g) != t.q {
+		return Interval{}
+	}
+	code := 0
+	for _, c := range g {
+		code = code<<8 | int(c)
+	}
+	return t.LookupCode(code)
+}

@@ -1,0 +1,154 @@
+package suffix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refineChain computes the interval for pattern by successive Refine
+// calls — the reference the jump table must agree with exactly.
+func refineChain(a *Array, pattern []byte) Interval {
+	iv := a.All()
+	for depth := int32(0); depth < int32(len(pattern)) && !iv.Empty(); depth++ {
+		iv = a.Refine(iv, depth, pattern[depth])
+	}
+	return iv
+}
+
+func TestPrefixTableMatchesRefineChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sigma := range []int{2, 4, 26} {
+		for _, n := range []int{0, 1, 2, 5, 100, 2000} {
+			text := make([]byte, n)
+			for i := range text {
+				text[i] = byte('a' + rng.Intn(sigma))
+			}
+			a := New(text)
+			for _, q := range []int{1, 2} {
+				tab := NewPrefixTable(a, q)
+				// Every q-gram present in the text, plus a batch of random
+				// (mostly absent) ones.
+				probe := func(g []byte) {
+					got := tab.Lookup(g)
+					want := refineChain(a, g)
+					if got != want && !(got.Empty() && want.Empty()) {
+						t.Fatalf("sigma=%d n=%d q=%d gram %q: table %+v, refine chain %+v",
+							sigma, n, q, g, got, want)
+					}
+				}
+				for i := 0; i+q <= n; i++ {
+					probe(text[i : i+q])
+				}
+				for trial := 0; trial < 200; trial++ {
+					g := make([]byte, q)
+					for j := range g {
+						g[j] = byte(rng.Intn(256))
+					}
+					probe(g)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixTableLookupLengthMismatch(t *testing.T) {
+	a := New([]byte("banana"))
+	tab := NewPrefixTable(a, 2)
+	if iv := tab.Lookup([]byte("a")); !iv.Empty() {
+		t.Errorf("short gram returned %+v", iv)
+	}
+	if iv := tab.Lookup([]byte("ana")); !iv.Empty() {
+		t.Errorf("long gram returned %+v", iv)
+	}
+}
+
+func TestClampPrefixQ(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, DefaultPrefixQ}, {0, DefaultPrefixQ}, {1, 1}, {2, 2}, {3, 3}, {4, MaxPrefixQ}, {100, MaxPrefixQ},
+	} {
+		if got := ClampPrefixQ(tc.in); got != tc.want {
+			t.Errorf("ClampPrefixQ(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixTableMemoryBytes(t *testing.T) {
+	a := New([]byte("abracadabra"))
+	if got := NewPrefixTable(a, 2).MemoryBytes(); got != 8*65536 {
+		t.Errorf("q=2 table = %d bytes, want %d", got, 8*65536)
+	}
+	if got := NewPrefixTable(a, 1).MemoryBytes(); got != 8*256 {
+		t.Errorf("q=1 table = %d bytes, want %d", got, 8*256)
+	}
+}
+
+// TestValidateLinearOnRepetitiveText is the regression guard for the old
+// O(n^2) Validate: on a highly repetitive text the adjacent-suffix byte
+// comparison degenerated to ~n^2/2 steps (10^10 for this input), so this
+// test finishing at all demonstrates the linear verifier.
+func TestValidateLinearOnRepetitiveText(t *testing.T) {
+	n := 200_000
+	text := make([]byte, n) // all zero bytes: the worst case
+	a := New(text)
+	if !a.Validate() {
+		t.Fatal("valid repetitive array failed validation")
+	}
+	// A rotated permutation keeps the permutation property but breaks the
+	// order; the linear verifier must still catch it.
+	sa := make([]int32, n)
+	copy(sa, a.SA())
+	first := sa[0]
+	copy(sa, sa[1:])
+	sa[n-1] = first
+	if NewFromParts(text, sa).Validate() {
+		t.Error("rotated suffix array passed validation")
+	}
+}
+
+// TestValidateAgainstBruteForce cross-checks the linear verifier against
+// definitional suffix comparison on random small inputs and random
+// corruptions.
+func TestValidateAgainstBruteForce(t *testing.T) {
+	bruteValid := func(text []byte, sa []int32) bool {
+		if len(sa) != len(text) {
+			return false
+		}
+		seen := make(map[int32]bool, len(sa))
+		for _, p := range sa {
+			if p < 0 || int(p) >= len(text) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for i := 1; i < len(sa); i++ {
+			if string(text[sa[i-1]:]) >= string(text[sa[i]:]) {
+				return false
+			}
+		}
+		return true
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(3))
+		}
+		sa := Build(text)
+		if trial%3 != 0 {
+			// Corrupt: either swap two entries or overwrite one.
+			if rng.Intn(2) == 0 && n > 1 {
+				i, j := rng.Intn(n), rng.Intn(n)
+				sa[i], sa[j] = sa[j], sa[i]
+			} else {
+				sa[rng.Intn(n)] = int32(rng.Intn(n))
+			}
+		}
+		got := NewFromParts(text, sa).Validate()
+		want := bruteValid(text, sa)
+		if got != want {
+			t.Fatalf("trial %d: text %q sa %v: Validate = %v, brute force = %v",
+				trial, text, sa, got, want)
+		}
+	}
+}

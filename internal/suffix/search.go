@@ -1,7 +1,5 @@
 package suffix
 
-import "sort"
-
 // Array couples a text with its suffix array and provides the pattern
 // matching primitives the RLZ factorizer needs. Array is immutable after
 // construction and safe for concurrent readers.
@@ -55,36 +53,72 @@ func (a *Array) All() Interval {
 	return Interval{0, int32(len(a.sa))}
 }
 
+// linearRefineThreshold is the interval size below which Refine switches
+// from binary search to a linear scan: at small sizes the scan's
+// sequential suffix-array and text accesses beat the log-time search's
+// scattered probes. 24 slots won in the refine microbenchmarks.
+const linearRefineThreshold = 24
+
 // Refine narrows iv, whose suffixes all share a matching prefix of length
 // depth, to the sub-interval of suffixes whose next character equals c.
 // This is the paper's Refine(lb, rb, j-i, x[j]): because the suffix array
 // is lexicographically ordered, both bounds are found by binary search, so
 // a full factor of length l costs O(l log m) character comparisons.
 //
-// Suffixes that end exactly at depth (no next character) sort before every
-// continuation and are excluded by the lower-bound search.
+// The searches are inlined and closure-free — this is the innermost loop
+// of every archive build — and intervals at or below
+// linearRefineThreshold are scanned linearly instead. Suffixes that end
+// exactly at depth (no next character) sort before every continuation and
+// are excluded by the lower-bound search.
 func (a *Array) Refine(iv Interval, depth int32, c byte) Interval {
 	if iv.Empty() {
 		return Interval{}
 	}
 	text, sa := a.text, a.sa
 	n := int32(len(text))
-	// charAt returns the suffix's character at the current depth, or -1 if
-	// the suffix is exhausted (exhausted suffixes sort first).
-	charAt := func(slot int32) int {
-		p := sa[slot] + depth
-		if p >= n {
-			return -1
+	lo, hi := iv.Lo, iv.Hi
+	if hi-lo <= linearRefineThreshold {
+		// Skip suffixes whose character at depth sorts before c (an
+		// exhausted suffix sorts before everything).
+		i := lo
+		for i < hi {
+			if p := sa[i] + depth; p < n && text[p] >= c {
+				break
+			}
+			i++
 		}
-		return int(text[p])
+		newLo := i
+		for i < hi {
+			if p := sa[i] + depth; p >= n || text[p] != c {
+				break
+			}
+			i++
+		}
+		return Interval{newLo, i}
 	}
-	lo := iv.Lo + int32(sort.Search(int(iv.Hi-iv.Lo), func(k int) bool {
-		return charAt(iv.Lo+int32(k)) >= int(c)
-	}))
-	hi := iv.Lo + int32(sort.Search(int(iv.Hi-iv.Lo), func(k int) bool {
-		return charAt(iv.Lo+int32(k)) > int(c)
-	}))
-	return Interval{lo, hi}
+	// Lower bound: first slot whose character at depth is >= c.
+	l, h := lo, hi
+	for l < h {
+		m := int32(uint32(l+h) >> 1)
+		if p := sa[m] + depth; p < n && text[p] >= c {
+			h = m
+		} else {
+			l = m + 1
+		}
+	}
+	newLo := l
+	// Upper bound: first slot whose character at depth is > c. Every slot
+	// before newLo is already < c, so the search resumes from l.
+	h = hi
+	for l < h {
+		m := int32(uint32(l+h) >> 1)
+		if p := sa[m] + depth; p < n && text[p] > c {
+			h = m
+		} else {
+			l = m + 1
+		}
+	}
+	return Interval{newLo, l}
 }
 
 // LongestMatch finds the longest prefix of pattern that occurs in the
@@ -136,23 +170,47 @@ func (a *Array) Occurrences(pattern []byte) []int32 {
 }
 
 // Validate checks that the stored suffix array is a permutation of
-// [0, len(text)) in strictly increasing suffix order. It is O(n^2) in the
-// worst case and intended for tests and for verifying arrays loaded from
-// untrusted files.
+// [0, len(text)) in strictly increasing suffix order, in O(n) time and
+// O(n) space. It is the guard for arrays loaded from untrusted files.
+//
+// The order check is the Burkhardt–Kärkkäinen linear-time verifier (the
+// same rank machinery Kasai's LCP algorithm in lcp.go builds on): a
+// permutation sa is *the* suffix array iff, for every adjacent pair
+// u = sa[i-1], v = sa[i], text[u] <= text[v] and, when the characters tie,
+// the suffixes one past them keep the claimed order — rank[u+1] <
+// rank[v+1], with the empty suffix ranking below everything. The
+// comparison of suffix remainders through their claimed ranks is what
+// replaces the naive byte-by-byte compare, whose adjacent-suffix overlap
+// made the old implementation O(n^2) on repetitive dictionaries.
 func (a *Array) Validate() bool {
 	n := len(a.text)
 	if len(a.sa) != n {
 		return false
 	}
-	seen := make([]bool, n)
-	for _, p := range a.sa {
-		if p < 0 || int(p) >= n || seen[p] {
+	if n == 0 {
+		return true
+	}
+	// rank[p] is the claimed sort position of the suffix at p; rank[n]
+	// (the empty suffix) sorts below all. Filling rank doubles as the
+	// permutation check: -1 marks unvisited, a repeat position would
+	// overwrite a non-negative rank.
+	rank := make([]int32, n+1)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for i, p := range a.sa {
+		if p < 0 || int(p) >= n || rank[p] >= 0 {
 			return false
 		}
-		seen[p] = true
+		rank[p] = int32(i)
 	}
 	for i := 1; i < n; i++ {
-		if compareSuffixes(a.text, a.sa[i-1], a.sa[i]) >= 0 {
+		u, v := a.sa[i-1], a.sa[i]
+		cu, cv := a.text[u], a.text[v]
+		if cu > cv {
+			return false
+		}
+		if cu == cv && rank[u+1] >= rank[v+1] {
 			return false
 		}
 	}
