@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"rlz/internal/archive"
+	"rlz/internal/collection"
 	"rlz/internal/corpus"
 	"rlz/internal/experiment"
 	"rlz/internal/rlz"
@@ -343,6 +344,73 @@ func BenchmarkCrossBackendBuild(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkMixedAppendRead measures the live-collection serving path
+// under the workload it exists for: a closed-loop mix of 90% reads and
+// 10% appends through a shared serve.Server over a live collection.
+// Three shapes: reads landing on the open (raw) segment, reads landing
+// on a compacted RLZ segment, and the same with the hot-document cache —
+// the first end-to-end numbers of the serving perf trajectory
+// (BENCH_serve.json).
+func BenchmarkMixedAppendRead(b *testing.B) {
+	const workers = 8
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes, c.Seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	nAppend := len(bodies) / 10
+	if nAppend < 1 {
+		nAppend = 1
+	}
+	seed, appendDocs := bodies[:len(bodies)-nAppend], bodies[len(bodies)-nAppend:]
+	ids := workload.QueryLog(len(seed), c.QlogRequests, c.Seed)
+	shapes := []struct {
+		name      string
+		compacted bool
+		cacheDocs int
+	}{
+		{"open-raw/uncached", false, 0},
+		{"compacted-rlz/uncached", true, 0},
+		{"compacted-rlz/cached", true, 256},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "live")
+			if err := collection.Init(dir); err != nil {
+				b.Fatal(err)
+			}
+			col, err := collection.Open(dir, collection.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer col.Close()
+			for _, d := range seed {
+				if _, err := col.Append(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if shape.compacted {
+				if _, err := col.Compact(collection.CompactOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			srv := serve.New(col, serve.Options{CacheDocs: shape.cacheDocs, Workers: workers})
+			b.ResetTimer()
+			var served int64
+			for i := 0; i < b.N; i++ {
+				res := workload.RunMixed(srv, col, ids, appendDocs, workers)
+				if res.Errors > 0 {
+					b.Fatalf("%d errors in mixed run", res.Errors)
+				}
+				served += res.ReadBytes + res.AppendBytes
+			}
+			b.SetBytes(served / int64(b.N))
+			b.ReportMetric(float64(len(ids)+nAppend)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }

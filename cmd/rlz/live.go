@@ -1,0 +1,189 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rlz/internal/archive"
+	"rlz/internal/collection"
+	"rlz/internal/rlz"
+	"rlz/internal/units"
+)
+
+// cmdAppend appends documents to a live collection, creating the
+// collection on first use. Appended documents are readable immediately —
+// rlz get/cat/grep and a running rlzd see them without any rebuild —
+// and get compressed later by `rlz compact` (or rlzd's auto-compactor).
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	dir := fs.String("a", "", "collection directory (required; created if absent)")
+	srcDir := fs.String("dir", "", "treat every regular file under this directory as a document")
+	warcPath := fs.String("warc", "", "read documents from a warc collection file")
+	syncAppends := fs.Bool("sync", false, "fsync every append before acknowledging it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("append: -a is required")
+	}
+
+	var src archive.DocSource
+	switch {
+	case *warcPath != "":
+		var err error
+		if src, err = archive.FromWARC(*warcPath); err != nil {
+			return err
+		}
+	default:
+		paths := fs.Args()
+		if *srcDir != "" {
+			var err error
+			if paths, err = collectFiles(*srcDir); err != nil {
+				return err
+			}
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("append: no input documents")
+		}
+		src = archive.FromFiles(paths)
+	}
+	defer func() {
+		if c, ok := src.(io.Closer); ok {
+			c.Close()
+		}
+	}()
+
+	if _, err := os.Stat(filepath.Join(*dir, collection.ManifestName)); err != nil {
+		if err := collection.Init(*dir); err != nil {
+			return err
+		}
+		fmt.Printf("%s: initialized empty collection\n", *dir)
+	}
+	col, err := collection.Open(*dir, collection.Options{SyncAppends: *syncAppends})
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+
+	first, count := -1, 0
+	var bytes int64
+	for {
+		d, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		id, err := col.Append(d.Body)
+		if err != nil {
+			if d.Name != "" {
+				return fmt.Errorf("appending %s: %w", d.Name, err)
+			}
+			return fmt.Errorf("appending document %d: %w", count, err)
+		}
+		if first < 0 {
+			first = id
+		}
+		count++
+		bytes += int64(len(d.Body))
+	}
+	if count == 0 {
+		return fmt.Errorf("append: no input documents")
+	}
+	fmt.Printf("%s: appended %d docs (%d bytes), ids %d..%d, generation %d\n",
+		*dir, count, bytes, first, first+count-1, col.Generation())
+	return nil
+}
+
+// cmdCompact seals the open segment and drains every raw segment into
+// RLZ archives built against the collection's shared dictionary.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("a", "", "collection directory (required)")
+	codecName := fs.String("codec", "ZV", "rlz pair codec for compacted segments")
+	dictSize := fs.String("dict", "0", "dictionary size when sampling a new one (0 means 1% of the compacted bytes)")
+	sampleSize := fs.String("sample", "1KB", "dictionary sample length when sampling a new one")
+	factQ := fs.Int("factq", 0, "factorization jump-table q-gram width (1-3); 0 means 2")
+	noJump := fs.Bool("nojump", false, "disable the factorization jump table")
+	workers := fs.Int("workers", 0, "build concurrency; 0 means GOMAXPROCS")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("compact: -a is required")
+	}
+	if *factQ < 0 || *factQ > 3 {
+		return fmt.Errorf("compact: -factq %d out of range (want 1-3, or 0 for the default)", *factQ)
+	}
+	codec, err := rlz.CodecByName(*codecName)
+	if err != nil {
+		return err
+	}
+	ds, err := units.ParseSize(*dictSize)
+	if err != nil {
+		return err
+	}
+	ss, err := units.ParseSize(*sampleSize)
+	if err != nil {
+		return err
+	}
+
+	col, err := collection.Open(*dir, collection.Options{})
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+	res, err := col.Compact(collection.CompactOptions{
+		Codec:      codec,
+		DictSize:   ds,
+		SampleSize: ss,
+		Factorizer: rlz.FactorizerOptions{Q: *factQ, DisableJump: *noJump},
+		Workers:    *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Compacted == 0 {
+		fmt.Printf("%s: nothing to compact (generation %d)\n", *dir, col.Generation())
+		return nil
+	}
+	ratio := 0.0
+	if res.BytesBefore > 0 {
+		ratio = 100 * float64(res.BytesAfter) / float64(res.BytesBefore)
+	}
+	fmt.Printf("%s: compacted %d segments into %d (%d docs, %d -> %d bytes, %.2f%%), generation %d\n",
+		*dir, res.Compacted, len(res.NewSegments), res.Docs, res.BytesBefore, res.BytesAfter, ratio, res.Generation)
+	return nil
+}
+
+// cmdGC removes files in the collection directory superseded by the
+// current generation: old segments replaced by compaction, stale .tmp
+// and .lens leftovers from crashes.
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	dir := fs.String("a", "", "collection directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("gc: -a is required")
+	}
+	col, err := collection.Open(*dir, collection.Options{})
+	if err != nil {
+		return err
+	}
+	defer col.Close()
+	removed, err := col.GC()
+	if err != nil {
+		return err
+	}
+	for _, name := range removed {
+		fmt.Printf("removed %s\n", name)
+	}
+	fmt.Printf("%s: %d files removed (generation %d)\n", *dir, len(removed), col.Generation())
+	return nil
+}

@@ -13,6 +13,9 @@
 //	rlz stats -a archive.rlz
 //	rlz verify -a archive.rlz
 //	rlz grep -a archive.rlz PATTERN
+//	rlz append -a livedir/ newdoc.html
+//	rlz compact -a livedir/
+//	rlz gc -a livedir/
 //
 // Each input file is one document; -dir walks a directory tree in
 // lexical order, taking every regular file as a document; -warc streams
@@ -22,10 +25,18 @@
 // independently built shard archives in a directory; reading commands
 // open the directory (or its MANIFEST file) like any single archive.
 //
+// append, compact and gc operate on live collections
+// (internal/collection): generational archive sets that grow online.
+// append lands documents in an open raw segment (readable immediately,
+// ids stable forever); compact drains raw segments into RLZ archives
+// against a shared sampled dictionary; gc removes superseded files.
+// Reading commands open a collection directory like any archive.
+//
 // To serve an archive hot over HTTP, see cmd/rlzd.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -39,6 +50,7 @@ import (
 
 	"rlz/internal/archive"
 	"rlz/internal/blockstore"
+	"rlz/internal/collection"
 	"rlz/internal/lz77"
 	"rlz/internal/rlz"
 	"rlz/internal/shard"
@@ -64,6 +76,12 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "grep":
 		err = cmdGrep(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -88,7 +106,14 @@ func usage() {
   rlz cat    -a ARCHIVE
   rlz stats  -a ARCHIVE
   rlz verify -a ARCHIVE [-workers N]
-  rlz grep   -a ARCHIVE [-n LIMIT] [-c RADIUS] PATTERN`)
+  rlz grep   -a ARCHIVE [-n LIMIT] [-c RADIUS] PATTERN
+  rlz append -a DIR [-sync] FILE... | -dir DIR | -warc FILE
+             appends to a live collection, creating it if absent;
+             documents are readable (rlzd, get, grep) immediately
+  rlz compact -a DIR [-codec ZV] [-dict SIZE] [-sample SIZE] [-factq 1-3] [-nojump] [-workers N]
+             seals the open segment and rewrites raw segments as RLZ
+  rlz gc     -a DIR
+             removes files superseded by the current generation`)
 }
 
 func cmdBuild(args []string) error {
@@ -333,6 +358,11 @@ func cmdCat(args []string) error {
 	for id := 0; id < r.NumDocs(); id++ {
 		buf, err = r.GetAppend(buf[:0], id)
 		if err != nil {
+			// A live collection's tombstoned ids are verified absences,
+			// not failures; cat emits the surviving documents.
+			if errors.Is(err, collection.ErrDeleted) {
+				continue
+			}
 			return err
 		}
 		if _, err := os.Stdout.Write(buf); err != nil {
@@ -361,6 +391,9 @@ func cmdStats(args []string) error {
 	for id := 0; id < r.NumDocs(); id++ {
 		buf, err = r.GetAppend(buf[:0], id)
 		if err != nil {
+			if errors.Is(err, collection.ErrDeleted) {
+				continue
+			}
 			return err
 		}
 		raw += int64(len(buf))
@@ -409,6 +442,7 @@ func cmdVerify(args []string) error {
 	}
 	var (
 		next    atomic.Int64
+		deleted atomic.Int64
 		mu      sync.Mutex
 		badID   = -1
 		badErr  error
@@ -427,6 +461,13 @@ func cmdVerify(args []string) error {
 				}
 				var err error
 				if buf, err = r.GetAppend(buf[:0], id); err != nil {
+					// A live collection's tombstoned ids return not-found
+					// by design: they are verified absences, not decode
+					// failures.
+					if errors.Is(err, collection.ErrDeleted) {
+						deleted.Add(1)
+						continue
+					}
 					mu.Lock()
 					if badID < 0 || id < badID {
 						badID, badErr = id, err
@@ -440,6 +481,10 @@ func cmdVerify(args []string) error {
 	wg.Wait()
 	if badErr != nil {
 		return fmt.Errorf("document %d: %w", badID, badErr)
+	}
+	if d := deleted.Load(); d > 0 {
+		fmt.Printf("%s: %d documents decode cleanly, %d tombstoned (%s backend)\n", *arc, int64(numDocs)-d, d, r.Stats().Backend)
+		return nil
 	}
 	fmt.Printf("%s: %d documents decode cleanly (%s backend)\n", *arc, numDocs, r.Stats().Backend)
 	return nil

@@ -1,26 +1,38 @@
 // Command rlzd serves documents from any archive built by cmd/rlz over
 // HTTP. The backend (rlz, block or raw) is auto-detected from the
-// archive's magic bytes; a shard directory (rlz build -shards) is served
-// through the same flag, with requests routed to the owning shard.
-// Requests are served concurrently through internal/serve's
+// archive's magic bytes; a shard directory (rlz build -shards) and a
+// live collection directory (rlz append) are served through the same
+// flag. Requests are served concurrently through internal/serve's
 // goroutine-safe Server, with an optional hot-document LRU cache and
 // live read statistics.
+//
+// Serving a live collection additionally enables the write API: new
+// documents are appended over HTTP and readable immediately, deletes
+// tombstone ids, and a background compactor (or POST /compact) drains
+// the append path into RLZ segments without a restart — the documents
+// keep their ids and bytes across the swap.
 //
 // Usage:
 //
 //	rlzd -a archive.rlz [-addr :8087] [-cache 1024] [-workers 0]
 //	rlzd -a sharddir/
+//	rlzd -a collectiondir/ [-compact-after 10000] [-sync-appends]
 //
 // Endpoints:
 //
-//	GET  /doc/{id}  one document, verbatim bytes
-//	POST /docs      batch retrieval; JSON {"ids":[1,2,3]} in,
-//	                per-document data/error JSON out
-//	GET  /stats     serve.Stats as JSON, plus a per-shard breakdown
-//	                when serving a shard set
+//	GET    /doc/{id}  one document, verbatim bytes
+//	POST   /docs      batch retrieval; JSON {"ids":[1,2,3]} in,
+//	                  per-document data/error JSON out
+//	GET    /stats     serve.Stats as JSON, plus a per-shard breakdown
+//	                  (shard sets) or generation breakdown (collections)
+//	POST   /append    raw document bytes in, JSON {"id":N} out
+//	                  (live collections only)
+//	DELETE /doc/{id}  tombstone a document (live collections only)
+//	POST   /compact   run a compaction now (live collections only)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +41,9 @@ import (
 	"time"
 
 	"rlz/internal/archive"
+	"rlz/internal/collection"
 	"rlz/internal/serve"
+	"rlz/internal/units"
 )
 
 func main() {
@@ -39,11 +53,19 @@ func main() {
 	cacheDocs := fs.Int("cache", 1024, "hot-document LRU capacity in documents; 0 disables")
 	workers := fs.Int("workers", 0, "batch fan-out per request; 0 means GOMAXPROCS")
 	maxBatch := fs.Int("max-batch", 4096, "largest accepted POST /docs batch")
+	maxDoc := fs.String("max-doc", "16MB", "largest accepted POST /append document")
+	syncAppends := fs.Bool("sync-appends", false, "fsync every append before acknowledging it (live collections)")
+	compactAfter := fs.Int("compact-after", 0, "auto-compact when this many documents await compaction; 0 disables (live collections)")
+	compactEvery := fs.Duration("compact-every", 0, "auto-compact on this interval when work is pending; 0 disables (live collections)")
 	fs.Parse(os.Args[1:])
 	if *arc == "" {
 		fmt.Fprintln(os.Stderr, "rlzd: -a is required")
 		fs.Usage()
 		os.Exit(2)
+	}
+	maxDocBytes, err := units.ParseSize(*maxDoc)
+	if err != nil {
+		log.Fatalf("rlzd: -max-doc: %v", err)
 	}
 
 	r, err := archive.Open(*arc)
@@ -51,16 +73,65 @@ func main() {
 		log.Fatalf("rlzd: %v", err)
 	}
 	defer r.Close()
+	col, live := collection.FromReader(r)
+	if live && *syncAppends {
+		// archive.Open used default options; reopen with durability on.
+		r.Close()
+		if col, err = collection.Open(*arc, collection.Options{SyncAppends: true}); err != nil {
+			log.Fatalf("rlzd: %v", err)
+		}
+		r = col
+		defer r.Close()
+	}
 	srv := serve.New(r, serve.Options{CacheDocs: *cacheDocs, Workers: *workers})
 	st := r.Stats()
 	log.Printf("rlzd: serving %s (%s, %d docs, %d bytes) on %s",
 		*arc, backendLabel(r), st.NumDocs, st.Size, *addr)
 
+	if live && (*compactAfter > 0 || *compactEvery > 0) {
+		go autoCompact(col, *compactAfter, *compactEvery)
+	}
+
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      newMux(srv, *maxBatch, nil),
+		Handler:      newMux(srv, col, muxOptions{maxBatch: *maxBatch, maxDoc: int64(maxDocBytes)}),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
 	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// autoCompact is the daemon's background compactor: every tick it
+// checks how many documents await compaction (open segment plus raw
+// sealed segments) and drains them into RLZ segments when the threshold
+// is met. Compaction runs concurrently with serving — reads route
+// through the old generation until the new one is published atomically.
+func autoCompact(col *collection.Collection, after int, every time.Duration) {
+	tick := every
+	if tick <= 0 {
+		tick = time.Second
+	}
+	for range time.Tick(tick) {
+		info := col.Info()
+		if info.PendingDocs == 0 {
+			continue
+		}
+		if after > 0 && info.PendingDocs < after {
+			continue
+		}
+		res, err := col.Compact(collection.CompactOptions{})
+		if err != nil {
+			// A compaction already running (a POST /compact, or a long
+			// auto pass outliving the tick) is expected contention, not
+			// an error worth a log line per tick.
+			if !errors.Is(err, collection.ErrCompacting) {
+				log.Printf("rlzd: auto-compaction: %v", err)
+			}
+			continue
+		}
+		if res.Compacted > 0 {
+			log.Printf("rlzd: auto-compacted %d segments (%d docs, %d -> %d bytes), generation %d",
+				res.Compacted, res.Docs, res.BytesBefore, res.BytesAfter, res.Generation)
+		}
+	}
 }

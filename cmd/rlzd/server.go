@@ -3,11 +3,13 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
 
 	"rlz/internal/archive"
+	"rlz/internal/collection"
 	"rlz/internal/docmap"
 	"rlz/internal/serve"
 	"rlz/internal/shard"
@@ -41,32 +43,57 @@ type shardStat struct {
 }
 
 // statsResponse is serve.Stats plus, when serving a shard set, the
-// per-shard breakdown.
+// per-shard breakdown, and, when serving a live collection, the
+// generation breakdown.
 type statsResponse struct {
 	serve.Stats
-	NumShards int         `json:"num_shards,omitempty"`
-	Shards    []shardStat `json:"shards,omitempty"`
+	NumShards int              `json:"num_shards,omitempty"`
+	Shards    []shardStat      `json:"shards,omitempty"`
+	Live      *collection.Info `json:"live,omitempty"`
 }
 
-// newMux wires the rlzd endpoints around a serve.Server. Split from main
-// so handler tests run against httptest without a process. Response
-// encoding failures (typically a client gone mid-body) are reported to
-// errlog — nil means the process logger — so truncated responses are
-// observable instead of silently dropped.
-func newMux(srv *serve.Server, maxBatch int, errlog *log.Logger) http.Handler {
+// muxOptions carries the write-path configuration of newMux.
+type muxOptions struct {
+	maxBatch int
+	maxDoc   int64 // largest accepted POST /append body
+	errlog   *log.Logger
+}
+
+// newMux wires the rlzd endpoints around a serve.Server. col is non-nil
+// when the archive is a live collection, which lights up the write API
+// (POST /append, DELETE /doc/{id}, POST /compact); on static archives
+// those endpoints answer 405. Split from main so handler tests run
+// against httptest without a process. Response encoding failures
+// (typically a client gone mid-body) are reported to errlog — nil means
+// the process logger — so truncated responses are observable instead of
+// silently dropped.
+func newMux(srv *serve.Server, col *collection.Collection, opt muxOptions) http.Handler {
+	errlog := opt.errlog
 	if errlog == nil {
 		errlog = log.Default()
 	}
+	if opt.maxDoc <= 0 {
+		opt.maxDoc = 16 << 20
+	}
 	mux := http.NewServeMux()
 
-	// Per-shard figures are immutable once the archive is open, so the
-	// breakdown is computed once, not per /stats request.
+	// Per-shard figures are immutable once a static shard set is open,
+	// so that breakdown is computed once, not per /stats request (a live
+	// collection's shape changes; its breakdown is per-request below).
 	var shardStats []shardStat
 	if sr, ok := shard.FromReader(srv.Reader()); ok {
 		m := sr.Manifest()
 		for i, st := range sr.ShardStats() {
 			shardStats = append(shardStats, shardStat{Path: m.Shards[i].Path, NumDocs: st.NumDocs, SizeBytes: st.Size})
 		}
+	}
+
+	readOnly := func(w http.ResponseWriter) bool {
+		if col != nil {
+			return false
+		}
+		http.Error(w, "archive is read-only; serve a live collection directory to enable writes", http.StatusMethodNotAllowed)
+		return true
 	}
 
 	mux.HandleFunc("GET /doc/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -109,8 +136,8 @@ func newMux(srv *serve.Server, maxBatch int, errlog *log.Logger) http.Handler {
 			http.Error(w, `body must carry {"ids":[...]} with at least one id`, http.StatusBadRequest)
 			return
 		}
-		if len(req.IDs) > maxBatch {
-			http.Error(w, "batch of "+strconv.Itoa(len(req.IDs))+" exceeds limit "+strconv.Itoa(maxBatch), http.StatusRequestEntityTooLarge)
+		if len(req.IDs) > opt.maxBatch {
+			http.Error(w, "batch of "+strconv.Itoa(len(req.IDs))+" exceeds limit "+strconv.Itoa(opt.maxBatch), http.StatusRequestEntityTooLarge)
 			return
 		}
 		resp := batchResponse{Docs: make([]batchDoc, len(req.IDs))}
@@ -159,9 +186,87 @@ func newMux(srv *serve.Server, maxBatch int, errlog *log.Logger) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("POST /append", func(w http.ResponseWriter, r *http.Request) {
+		if readOnly(w) {
+			return
+		}
+		doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, opt.maxDoc))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, "document exceeds limit of "+strconv.FormatInt(opt.maxDoc, 10)+" bytes", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := col.Append(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(map[string]any{"id": id, "generation": col.Generation()}); err != nil {
+			errlog.Printf("rlzd: encoding /append response: %v", err)
+		}
+	})
+
+	mux.HandleFunc("DELETE /doc/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if readOnly(w) {
+			return
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, "document id must be an integer", http.StatusBadRequest)
+			return
+		}
+		if err := col.Delete(id); err != nil {
+			if errors.Is(err, docmap.ErrNoSuchDoc) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Advance the cache epoch rather than dropping the one entry: a
+		// concurrent GET that fetched the document before the tombstone
+		// published could re-cache it after a point invalidation, but its
+		// Put lands under the old epoch's key, which no request uses now.
+		srv.BumpEpoch()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(map[string]any{"deleted": id, "generation": col.Generation()}); err != nil {
+			errlog.Printf("rlzd: encoding delete response: %v", err)
+		}
+	})
+
+	mux.HandleFunc("POST /compact", func(w http.ResponseWriter, r *http.Request) {
+		if readOnly(w) {
+			return
+		}
+		// Zero options: repository-default codec, dictionary budget and
+		// factorizer (rlz compact has the tuning flags for offline runs).
+		res, err := col.Compact(collection.CompactOptions{})
+		if err != nil {
+			if errors.Is(err, collection.ErrCompacting) {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(res); err != nil {
+			errlog.Printf("rlzd: encoding /compact response: %v", err)
+		}
+	})
+
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		resp := statsResponse{Stats: srv.Stats(), NumShards: len(shardStats), Shards: shardStats}
+		if col != nil {
+			info := col.Info()
+			resp.Live = &info
+		}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			errlog.Printf("rlzd: encoding /stats response: %v", err)
 		}
@@ -170,9 +275,15 @@ func newMux(srv *serve.Server, maxBatch int, errlog *log.Logger) http.Handler {
 	return mux
 }
 
-// backendLabel names what the daemon is serving, including shard shape.
+// backendLabel names what the daemon is serving, including shard or
+// generation shape.
 func backendLabel(r archive.Reader) string {
 	st := r.Stats()
+	if c, ok := collection.FromReader(r); ok {
+		info := c.Info()
+		return "live collection, generation " + strconv.FormatUint(info.Generation, 10) +
+			", " + strconv.Itoa(len(info.Segments)) + " sealed segments"
+	}
 	if sr, ok := shard.FromReader(r); ok {
 		return string(st.Backend) + " backend, " + strconv.Itoa(sr.NumShards()) + " shards"
 	}

@@ -49,7 +49,7 @@ func newTestServer(t *testing.T, docs [][]byte, opts archive.Options, cacheDocs,
 		t.Fatal(err)
 	}
 	srv := serve.New(r, serve.Options{CacheDocs: cacheDocs, Workers: 4})
-	ts := httptest.NewServer(newMux(srv, maxBatch, nil))
+	ts := httptest.NewServer(newMux(srv, nil, muxOptions{maxBatch: maxBatch}))
 	t.Cleanup(ts.Close)
 	return ts, srv
 }
@@ -390,7 +390,7 @@ func TestEncodeErrorsAreLogged(t *testing.T) {
 		t.Fatal(err)
 	}
 	var logBuf bytes.Buffer
-	h := newMux(serve.New(r, serve.Options{}), 64, log.New(&logBuf, "", 0))
+	h := newMux(serve.New(r, serve.Options{}), nil, muxOptions{maxBatch: 64, errlog: log.New(&logBuf, "", 0)})
 
 	req := httptest.NewRequest("POST", "/docs", strings.NewReader(`{"ids":[0,1]}`))
 	h.ServeHTTP(failAfterHeaderWriter{httptest.NewRecorder()}, req)
@@ -421,7 +421,7 @@ func TestServeShardSet(t *testing.T) {
 			}
 			t.Cleanup(func() { r.Close() })
 			srv := serve.New(r, serve.Options{CacheDocs: 8, Workers: 4})
-			ts := httptest.NewServer(newMux(srv, 64, nil))
+			ts := httptest.NewServer(newMux(srv, nil, muxOptions{maxBatch: 64}))
 			t.Cleanup(ts.Close)
 
 			// Every document is served through the routed ids.
@@ -496,7 +496,7 @@ func TestLoadGeneratorAgainstShardedDaemon(t *testing.T) {
 	}
 	t.Cleanup(func() { r.Close() })
 	srv := serve.New(r, serve.Options{CacheDocs: 16, Workers: 4})
-	ts := httptest.NewServer(newMux(srv, 64, nil))
+	ts := httptest.NewServer(newMux(srv, nil, muxOptions{maxBatch: 64}))
 	t.Cleanup(ts.Close)
 	ids := workload.QueryLog(len(docs), 400, 42)
 	res := workload.Run(&workload.HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}, ids, 8)

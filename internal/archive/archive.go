@@ -41,6 +41,10 @@ const (
 	// Raw is the "ascii" baseline: uncompressed documents with a
 	// document map (internal/rawstore).
 	Raw Backend = "raw"
+	// Live labels a generational live collection (internal/collection):
+	// an updatable set of segments that may mix the backends above. It
+	// is a Stats identity, not a build target — ParseBackend rejects it.
+	Live Backend = "live"
 )
 
 // Backends lists the registered backends in stable order.

@@ -66,6 +66,16 @@ const (
 // ErrCorruptArchive is returned when a blockstore fails structural checks.
 var ErrCorruptArchive = errors.New("blockstore: corrupt archive")
 
+// MaxBlockUncompressed is the largest uncompressed block size Open
+// accepts from an archive's document locators — the hard ceiling on
+// what one GetAppend may be asked to decompress. The locators are part
+// of the (potentially hostile) archive, so without an absolute bound a
+// crafted file could declare a near-2^33 block and make the read path
+// allocate it; 1 GiB is orders of magnitude above any honest
+// configuration (default blocks are 256 KiB; a block exceeds this only
+// if one document does).
+const MaxBlockUncompressed = 1 << 30
+
 // Options configures a Writer.
 type Options struct {
 	// BlockSize is the uncompressed block capacity in bytes. Zero means
@@ -271,6 +281,7 @@ type Reader struct {
 	alg        Algorithm
 	blocks     *docmap.Map
 	docs       []docLoc
+	blockRaw   []int64 // per-block declared uncompressed size, from the locators
 	blockStart int64
 	size       int64
 	closer     io.Closer
@@ -349,7 +360,22 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 	if int64(blocks.Total()) != mapOff-blockStart {
 		return nil, fmt.Errorf("%w: block map covers %d bytes, region is %d", ErrCorruptArchive, blocks.Total(), mapOff-blockStart)
 	}
-	return &Reader{r: r, alg: alg, blocks: blocks, docs: docs, blockStart: blockStart, size: size}, nil
+	// Derive each block's uncompressed size from its locators: documents
+	// are laid back to back from offset 0, so the block ends where its
+	// last document does. This is the decompression budget GetAppend
+	// enforces — a hostile archive cannot claim a tiny block and then
+	// inflate without bound.
+	blockRaw := make([]int64, blocks.Len())
+	for i, d := range docs {
+		end := int64(d.offset) + int64(d.length)
+		if end > MaxBlockUncompressed {
+			return nil, fmt.Errorf("%w: document %d extends its block to %d bytes (limit %d)", ErrCorruptArchive, i, end, int64(MaxBlockUncompressed))
+		}
+		if end > blockRaw[d.block] {
+			blockRaw[d.block] = end
+		}
+	}
+	return &Reader{r: r, alg: alg, blocks: blocks, docs: docs, blockRaw: blockRaw, blockStart: blockStart, size: size}, nil
 }
 
 // OpenBytes opens an archive held in memory.
@@ -428,6 +454,10 @@ func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
 	if _, err := r.r.ReadAt(comp, off); err != nil {
 		return dst, fmt.Errorf("blockstore: reading block %d: %w", loc.block, err)
 	}
+	// declared is the block's uncompressed size per the document
+	// locators — the inflation budget. Reading one byte past it detects
+	// a decompression bomb without materializing it.
+	declared := r.blockRaw[loc.block]
 	var block []byte
 	switch r.alg {
 	case Zlib:
@@ -435,12 +465,23 @@ func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
 		if err != nil {
 			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
 		}
-		block, err = io.ReadAll(zr)
+		block, err = io.ReadAll(io.LimitReader(zr, declared+1))
 		zr.Close()
 		if err != nil {
 			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
 		}
+		if int64(len(block)) > declared {
+			return dst, fmt.Errorf("%w: block %d inflates past its declared %d bytes", ErrCorruptArchive, loc.block, declared)
+		}
 	case LZ77:
+		// The stream's own length header bounds Decompress's output, so
+		// checking it against the budget up front prevents the bomb from
+		// ever being allocated.
+		if n, derr := lz77.DeclaredLen(comp); derr != nil {
+			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, derr)
+		} else if int64(n) > declared {
+			return dst, fmt.Errorf("%w: block %d declares %d uncompressed bytes, locators allow %d", ErrCorruptArchive, loc.block, n, declared)
+		}
 		block, err = lz77.Decompress(nil, comp)
 		if err != nil {
 			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)

@@ -2,6 +2,7 @@ package blockstore
 
 import (
 	"bytes"
+	"compress/zlib"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,10 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rlz/internal/coding"
+	"rlz/internal/docmap"
+	"rlz/internal/lz77"
 )
 
 func makeDocs(n int, seed int64) [][]byte {
@@ -389,5 +394,142 @@ func TestCachedDocumentsAreAppendProof(t *testing.T) {
 				buf[j] = '#'
 			}
 		}
+	}
+}
+
+// TestZlibBombRejected pins the decompression budget: a hostile archive
+// whose block claims 10 bytes of documents but inflates to megabytes
+// must fail with ErrCorruptArchive after at most declared+1 bytes, not
+// materialize the bomb.
+func TestZlibBombRejected(t *testing.T) {
+	// An 8 MiB zero bomb compresses to a few KiB.
+	var bomb bytes.Buffer
+	zw, err := zlib.NewWriterLevel(&bomb, zlib.BestCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(make([]byte, 8<<20)); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+
+	var arc []byte
+	arc = append(arc, headerMagic...)
+	arc = append(arc, version, byte(Zlib))
+	arc = append(arc, bomb.Bytes()...)
+	mapOff := len(arc)
+	blocks := docmap.New()
+	blocks.Append(uint64(bomb.Len()))
+	arc = blocks.Marshal(arc)
+	arc = coding.PutUvarint64(arc, 1)  // one document...
+	arc = coding.PutUvarint32(arc, 0)  // ...in block 0
+	arc = coding.PutUvarint32(arc, 0)  // at offset 0
+	arc = coding.PutUvarint32(arc, 10) // claiming 10 bytes
+	arc = coding.PutU64(arc, uint64(mapOff))
+	arc = append(arc, footerMagic...)
+
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatalf("Open rejected the structure, want rejection at read time: %v", err)
+	}
+	if _, err := r.Get(0); !errors.Is(err, ErrCorruptArchive) {
+		t.Fatalf("Get on bomb block = %v, want ErrCorruptArchive", err)
+	}
+	// The same guard protects the cached path.
+	r.SetCacheBlocks(4)
+	if _, err := r.Get(0); !errors.Is(err, ErrCorruptArchive) {
+		t.Fatalf("cached Get on bomb block = %v, want ErrCorruptArchive", err)
+	}
+}
+
+// TestHonestBlockSizesStillServe: the budget equals the real block size
+// for every honestly built archive — boundary check, not a behavior
+// change.
+func TestHonestBlockSizesStillServe(t *testing.T) {
+	for _, alg := range []Algorithm{Zlib, LZ77} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Options{BlockSize: 64, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var docs [][]byte
+		for i := 0; i < 20; i++ {
+			d := []byte(strings.Repeat("block body ", i%5+1))
+			docs = append(docs, d)
+			if _, err := w.Append(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenBytes(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range docs {
+			got, err := r.Get(i)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("alg %v doc %d: %v", alg, i, err)
+			}
+		}
+	}
+}
+
+// TestLZ77BombRejected: the same budget guards the LZ77 path, enforced
+// against the stream's own length header before any allocation.
+func TestLZ77BombRejected(t *testing.T) {
+	bomb := lz77.Compress(nil, make([]byte, 8<<20), lz77.Options{})
+
+	var arc []byte
+	arc = append(arc, headerMagic...)
+	arc = append(arc, version, byte(LZ77))
+	arc = append(arc, bomb...)
+	mapOff := len(arc)
+	blocks := docmap.New()
+	blocks.Append(uint64(len(bomb)))
+	arc = blocks.Marshal(arc)
+	arc = coding.PutUvarint64(arc, 1)
+	arc = coding.PutUvarint32(arc, 0)
+	arc = coding.PutUvarint32(arc, 0)
+	arc = coding.PutUvarint32(arc, 10)
+	arc = coding.PutU64(arc, uint64(mapOff))
+	arc = append(arc, footerMagic...)
+
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatalf("Open rejected the structure, want rejection at read time: %v", err)
+	}
+	if _, err := r.Get(0); !errors.Is(err, ErrCorruptArchive) {
+		t.Fatalf("Get on LZ77 bomb block = %v, want ErrCorruptArchive", err)
+	}
+}
+
+// TestHostileLocatorsRejected: locators themselves are hostile input; a
+// document declaring a multi-gigabyte block must be rejected at Open,
+// before any read can be asked to allocate the budget it grants.
+func TestHostileLocatorsRejected(t *testing.T) {
+	var comp bytes.Buffer
+	zw, _ := zlib.NewWriterLevel(&comp, zlib.BestCompression)
+	zw.Write([]byte("tiny"))
+	zw.Close()
+
+	var arc []byte
+	arc = append(arc, headerMagic...)
+	arc = append(arc, version, byte(Zlib))
+	arc = append(arc, comp.Bytes()...)
+	mapOff := len(arc)
+	blocks := docmap.New()
+	blocks.Append(uint64(comp.Len()))
+	arc = blocks.Marshal(arc)
+	arc = coding.PutUvarint64(arc, 1)
+	arc = coding.PutUvarint32(arc, 0)
+	arc = coding.PutUvarint32(arc, 1<<31) // offset: 2 GiB into the "block"
+	arc = coding.PutUvarint32(arc, 1<<31) // length: another 2 GiB
+	arc = coding.PutU64(arc, uint64(mapOff))
+	arc = append(arc, footerMagic...)
+
+	if _, err := OpenBytes(arc); !errors.Is(err, ErrCorruptArchive) {
+		t.Fatalf("Open with 4 GiB locator = %v, want ErrCorruptArchive", err)
 	}
 }

@@ -1,0 +1,762 @@
+package collection
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rlz/internal/archive"
+	"rlz/internal/docmap"
+	"rlz/internal/rlz"
+)
+
+func init() {
+	archive.RegisterPathFormat(headerMagic, "live collection", func(path string) (archive.Reader, error) {
+		return Open(filepath.Dir(path), Options{})
+	})
+}
+
+// ErrDeleted is wrapped by reads of a tombstoned document. It wraps
+// docmap.ErrNoSuchDoc, so callers that only care about "not found"
+// (rlzd's 404 path) need no new check, while callers that iterate every
+// id (rlz verify) can skip tombstones specifically.
+var ErrDeleted = fmt.Errorf("%w: deleted", docmap.ErrNoSuchDoc)
+
+// ErrCompacting is returned when a mutation that restructures the
+// segment list (Compact, GC) is requested while a compaction is already
+// running.
+var ErrCompacting = fmt.Errorf("collection: compaction already in progress")
+
+// Options configures an open Collection.
+type Options struct {
+	// SyncAppends fsyncs the open segment's data and length files after
+	// every append, making each append durable before its id is
+	// returned. Off by default: appends are durable at the next seal,
+	// and a crash loses at most the OS-buffered tail (never a torn
+	// document).
+	SyncAppends bool
+}
+
+// resource is one closable a view references — a segment reader or the
+// open segment's file pair — refcounted by the number of views that
+// still reference it, so superseded resources close as soon as the last
+// view using them drains (not at Collection.Close): a long-running
+// daemon compacting continuously neither leaks descriptors nor pins
+// unlinked files' disk space.
+type resource struct {
+	c    io.Closer
+	refs atomic.Int64
+}
+
+// newResource wraps c unreferenced; views take references at install,
+// so a resource created for a view that never publishes must be closed
+// by its creator's error path.
+func newResource(c io.Closer) *resource {
+	return &resource{c: c}
+}
+
+func (r *resource) ref() { r.refs.Add(1) }
+
+func (r *resource) unref() {
+	if r.refs.Add(-1) == 0 {
+		r.c.Close()
+	}
+}
+
+// view is one immutable routing snapshot: the sealed segments with their
+// cumulative id offsets, the tombstone set, and the open segment (whose
+// document count grows independently under its own lock). Reads pin the
+// current view with a reference count (two atomic ops), so a mutation
+// can publish a fresh view and the replaced resources close exactly
+// when their last in-flight reader finishes.
+type view struct {
+	gen     uint64
+	segs    []archive.Reader
+	segRes  []*resource // lifetime entries, parallel to segs
+	paths   []string    // manifest paths, parallel to segs
+	starts  []int       // len(segs)+1 cumulative doc offsets
+	sizes   int64       // total sealed segment bytes
+	tomb    map[int]struct{}
+	open    *openSegment // nil when no open segment
+	openRes *resource    // lifetime entry for open's file handles
+
+	// refs counts 1 for being installed plus 1 per in-flight read;
+	// dying is set when the view is replaced, and the ref that drops
+	// refs to 0 releases the view's hold on every resource.
+	refs  atomic.Int64
+	dying atomic.Bool
+}
+
+func (v *view) tryRef() bool {
+	for {
+		n := v.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (v *view) unref() {
+	if v.refs.Add(-1) == 0 && v.dying.Load() {
+		for _, r := range v.segRes {
+			r.unref()
+		}
+		if v.openRes != nil {
+			v.openRes.unref()
+		}
+	}
+}
+
+// install activates v: one installed self-ref plus one resource ref per
+// referenced closable (released when the view later drains).
+func (v *view) install() {
+	v.refs.Store(1)
+	for _, r := range v.segRes {
+		r.ref()
+	}
+	if v.openRes != nil {
+		v.openRes.ref()
+	}
+}
+
+// sealed returns the sealed-document count (global ids below this route
+// to segments, at or above it to the open segment).
+func (v *view) sealed() int { return v.starts[len(v.segs)] }
+
+// Collection is a live generational document store implementing
+// archive.Reader plus the write API (Append, Delete, Seal, Compact, GC).
+//
+// Concurrency contract: the read side (Get, GetAppend, Extent, NumDocs,
+// Size, Stats, FindAll, GetRange) is safe for any number of concurrent
+// goroutines with distinct dst buffers — identical to archive.Reader —
+// and stays safe while writes run: reads route through an atomic view
+// pointer and never take the write lock. Writes are serialized on an
+// internal mutex; one process must own the directory (there is no
+// cross-process locking).
+//
+// Superseded resources (segment readers replaced by compaction, sealed
+// open-segment handles) are refcounted by the views that reference them
+// and close as soon as the last in-flight read on any such view drains
+// — a continuously compacting daemon holds descriptors only for the
+// current generation plus whatever reads are still in flight.
+type Collection struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex // serializes all mutations and manifest publishes
+	man        *Manifest  // current manifest (guarded by mu)
+	compacting bool
+	closed     bool
+
+	view atomic.Pointer[view]
+
+	dict *rlz.Dictionary // shared prepared compaction dictionary
+}
+
+// Init creates an empty collection at dir (creating the directory if
+// needed). Fails if dir already holds a manifest.
+func Init(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return fmt.Errorf("collection: %s already holds a collection", dir)
+	}
+	return WriteManifest(dir, &Manifest{Generation: 1, NextSeq: 1})
+}
+
+// Open opens the collection at dir (or its manifest path), recovering
+// the open append segment if the last process died mid-write.
+// archive.Open dispatches here automatically when it sees a collection
+// manifest, so read-only callers never call this directly.
+func Open(dir string, opts Options) (*Collection, error) {
+	if st, err := os.Stat(dir); err == nil && !st.IsDir() {
+		dir = filepath.Dir(dir)
+	}
+	man, err := ReadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{dir: dir, opts: opts, man: man}
+	v := &view{gen: man.Generation, starts: man.Starts(), tomb: tombSet(man.Tombstones)}
+	for i, s := range man.Segments {
+		sr, err := openSegmentReader(dir, s.Path)
+		if err != nil {
+			c.closeView(v)
+			return nil, fmt.Errorf("collection: segment %d (%s): %w", i, s.Path, err)
+		}
+		v.segs = append(v.segs, sr)
+		v.segRes = append(v.segRes, newResource(sr))
+		v.paths = append(v.paths, s.Path)
+		v.sizes += sr.Size()
+		if sr.NumDocs() != s.Docs {
+			c.closeView(v)
+			return nil, fmt.Errorf("%w: segment %d (%s) holds %d documents, manifest says %d",
+				ErrCorruptManifest, i, s.Path, sr.NumDocs(), s.Docs)
+		}
+	}
+	if man.OpenSeg != "" {
+		v.open, err = recoverOpenSegment(dir, man.OpenSeg, opts.SyncAppends)
+		if err != nil {
+			c.closeView(v)
+			return nil, err
+		}
+		v.openRes = newResource(closerFunc(v.open.closeFiles))
+	}
+	// Clamp tombstones to the recovered document count: a tombstone can
+	// be published durably for an append whose bytes were still in OS
+	// buffers when the process died. Recovery truncates the lost tail,
+	// so its ids WILL be re-allocated to new documents — a stale
+	// tombstone would silently swallow them forever. Dropping it here
+	// (and at the next publish, since the manifest is held pruned)
+	// restores the id-stability contract for every id that survived.
+	total := v.sealed()
+	if v.open != nil {
+		total += v.open.count()
+	}
+	if n := len(man.Tombstones); n > 0 && man.Tombstones[n-1] >= total {
+		kept := man.Tombstones[:0]
+		for _, t := range man.Tombstones {
+			if t < total {
+				kept = append(kept, t)
+			}
+		}
+		man.Tombstones = kept
+		v.tomb = tombSet(kept)
+		// Publish the pruned set now: appends do not rewrite the
+		// manifest, so an in-memory-only clamp would resurrect the stale
+		// tombstones (over freshly re-allocated ids) at the next crash.
+		man.Generation++
+		if err := WriteManifest(dir, man); err != nil {
+			c.closeView(v)
+			return nil, err
+		}
+		v.gen = man.Generation
+	}
+	v.install()
+	c.view.Store(v)
+	return c, nil
+}
+
+// openSegmentReader opens one sealed segment — a single-file archive or
+// a shard-set directory — rejecting nested collections so a hostile
+// manifest cannot recurse.
+func openSegmentReader(dir, path string) (archive.Reader, error) {
+	full := filepath.Join(dir, path)
+	probe := full
+	if st, err := os.Stat(full); err == nil && st.IsDir() {
+		probe = filepath.Join(full, archive.DirManifest)
+	}
+	var magic [4]byte
+	f, err := os.Open(probe)
+	if err != nil {
+		return nil, err
+	}
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	if rerr == nil && string(magic[:]) == headerMagic {
+		return nil, fmt.Errorf("%w: segment %q is itself a collection", ErrCorruptManifest, path)
+	}
+	return archive.Open(full)
+}
+
+// tombSet builds the O(1) membership set from the manifest's sorted list.
+func tombSet(ids []int) map[int]struct{} {
+	m := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		m[id] = struct{}{}
+	}
+	return m
+}
+
+// closeView closes the resources a partially constructed view holds.
+func (c *Collection) closeView(v *view) {
+	for _, sr := range v.segs {
+		sr.Close()
+	}
+	if v.open != nil {
+		v.open.closeFiles()
+	}
+}
+
+// cloneManifest deep-copies the current manifest for mutation.
+func (c *Collection) cloneManifest() *Manifest {
+	m := &Manifest{
+		Generation: c.man.Generation,
+		NextSeq:    c.man.NextSeq,
+		OpenSeg:    c.man.OpenSeg,
+		Segments:   append([]Segment(nil), c.man.Segments...),
+		Tombstones: append([]int(nil), c.man.Tombstones...),
+	}
+	return m
+}
+
+// cloneView shallow-copies the current view for mutation; slices and the
+// tombstone map are copied so the published old view stays immutable.
+// Resource entries are carried by pointer — the clone takes its own
+// references at install time.
+func cloneView(v *view) *view {
+	nv := &view{
+		segs:    append([]archive.Reader(nil), v.segs...),
+		segRes:  append([]*resource(nil), v.segRes...),
+		paths:   append([]string(nil), v.paths...),
+		starts:  append([]int(nil), v.starts...),
+		sizes:   v.sizes,
+		tomb:    v.tomb,
+		open:    v.open,
+		openRes: v.openRes,
+	}
+	return nv
+}
+
+// publishLocked atomically persists m as the next generation and
+// installs v as the live view; the replaced view is marked dying and
+// releases its resource references once its in-flight reads drain.
+// Called with mu held.
+func (c *Collection) publishLocked(m *Manifest, v *view) error {
+	m.Generation = c.man.Generation + 1
+	if err := WriteManifest(c.dir, m); err != nil {
+		return err
+	}
+	c.man = m
+	v.gen = m.Generation
+	v.install()
+	old := c.view.Load()
+	c.view.Store(v)
+	if old != nil {
+		old.dying.Store(true)
+		old.unref()
+	}
+	return nil
+}
+
+// acquireView pins the current view for one read, returning it with its
+// release func. Mirrors the serving layer's acquire: a view being
+// drained cannot be resurrected, and a pointer move between load and
+// ref retries on the fresh view. After Close the current view is
+// drained for good; reads then get it unpinned (and fail on the closed
+// files — the documented post-Close behavior) instead of spinning.
+func (c *Collection) acquireView() (*view, func()) {
+	for {
+		v := c.view.Load()
+		if v.tryRef() {
+			if c.view.Load() == v {
+				return v, v.unref
+			}
+			v.unref()
+			continue
+		}
+		if c.view.Load() == v {
+			return v, func() {}
+		}
+	}
+}
+
+// Generation returns the current generation number.
+func (c *Collection) Generation() uint64 { return c.view.Load().gen }
+
+// Append stores one document at the tail of the collection, returning
+// its stable global id. The document is readable immediately — before
+// any seal or compaction — and, with Options.SyncAppends, durable before
+// the call returns. The first append after a seal (or on a fresh
+// collection) creates a new open segment, which publishes a manifest so
+// crash recovery knows where the write head is.
+func (c *Collection) Append(doc []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, fmt.Errorf("collection: append to closed collection")
+	}
+	v := c.view.Load()
+	if v.open == nil {
+		m := c.cloneManifest()
+		var (
+			name string
+			open *openSegment
+		)
+		for {
+			name = segFileName(m.NextSeq)
+			m.NextSeq++
+			var err error
+			open, err = createOpenSegment(c.dir, name, c.opts.SyncAppends)
+			if err == nil {
+				break
+			}
+			// A file already holding this sequence number is an orphan
+			// from a crashed compaction (its rename landed but the
+			// publish that would have advanced NextSeq did not). The
+			// manifest is the truth, so skip the number and leave the
+			// orphan for gc rather than destroying evidence.
+			if os.IsExist(err) {
+				continue
+			}
+			return 0, err
+		}
+		m.OpenSeg = name
+		nv := cloneView(v)
+		nv.open = open
+		nv.openRes = newResource(closerFunc(open.closeFiles))
+		if err := c.publishLocked(m, nv); err != nil {
+			// Leave the files in place: a publish error after the rename
+			// (a failed directory fsync) means the on-disk manifest may
+			// already name them, and deleting them would break the
+			// old-or-new-generation recovery contract. If the manifest
+			// never landed they are unreferenced orphans for gc.
+			open.closeFiles()
+			return 0, err
+		}
+		v = nv
+	}
+	local, err := v.open.append(doc)
+	if err != nil {
+		return 0, err
+	}
+	return v.sealed() + local, nil
+}
+
+// Delete tombstones global id: it returns not-found from every read
+// from now on, across seals, compactions and reopens. The id itself is
+// never reused. Deleting an unknown or already deleted id is an error.
+func (c *Collection) Delete(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("collection: delete on closed collection")
+	}
+	v := c.view.Load()
+	total := v.sealed()
+	if v.open != nil {
+		total += v.open.count()
+	}
+	if id < 0 || id >= total {
+		return fmt.Errorf("%w: id %d of %d", docmap.ErrNoSuchDoc, id, total)
+	}
+	if _, dead := v.tomb[id]; dead {
+		return fmt.Errorf("collection: document %d: %w", id, ErrDeleted)
+	}
+	// The tombstone is published durably (fsync'd manifest swap); if it
+	// names an open-segment document whose bytes are still in OS
+	// buffers, a crash could lose the document but keep its tombstone,
+	// and recovery's clamp would then misjudge later ids. Make the open
+	// segment at least as durable as the tombstone first.
+	if id >= v.sealed() && v.open != nil && !c.opts.SyncAppends {
+		if err := v.open.syncFiles(); err != nil {
+			return err
+		}
+	}
+	m := c.cloneManifest()
+	at := sort.SearchInts(m.Tombstones, id)
+	m.Tombstones = append(m.Tombstones, 0)
+	copy(m.Tombstones[at+1:], m.Tombstones[at:])
+	m.Tombstones[at] = id
+	nv := cloneView(v)
+	nv.tomb = make(map[int]struct{}, len(v.tomb)+1)
+	for t := range v.tomb {
+		nv.tomb[t] = struct{}{}
+	}
+	nv.tomb[id] = struct{}{}
+	return c.publishLocked(m, nv)
+}
+
+// Seal finalizes the open append segment into an immutable raw-archive
+// segment (in place — no data movement) and publishes the generation
+// that records it. A no-op when the open segment is empty or absent.
+func (c *Collection) Seal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("collection: seal on closed collection")
+	}
+	return c.sealLocked()
+}
+
+func (c *Collection) sealLocked() error {
+	v := c.view.Load()
+	if v.open == nil || v.open.count() == 0 {
+		return nil
+	}
+	open := v.open
+	docs := open.count()
+	if err := open.seal(); err != nil {
+		return err
+	}
+	sr, err := openSegmentReader(c.dir, open.name)
+	if err != nil {
+		return fmt.Errorf("collection: reopening sealed segment %s: %w", open.name, err)
+	}
+	if sr.NumDocs() != docs {
+		sr.Close()
+		return fmt.Errorf("collection: sealed segment %s holds %d documents, expected %d", open.name, sr.NumDocs(), docs)
+	}
+	m := c.cloneManifest()
+	m.Segments = append(m.Segments, Segment{Path: open.name, Docs: docs})
+	m.OpenSeg = ""
+	nv := cloneView(v)
+	nv.starts = append(nv.starts, nv.sealed()+docs)
+	nv.segs = append(nv.segs, sr)
+	nv.segRes = append(nv.segRes, newResource(sr))
+	nv.paths = append(nv.paths, open.name)
+	nv.sizes += sr.Size()
+	// The new view reads the sealed bytes through sr; dropping the open
+	// segment's entry closes its handles once older views drain.
+	nv.open = nil
+	nv.openRes = nil
+	if err := c.publishLocked(m, nv); err != nil {
+		sr.Close()
+		return err
+	}
+	// The sidecar file is no longer needed at all (in-flight readers use
+	// the still-open handles, not the name).
+	os.Remove(filepath.Join(c.dir, lensName(open.name)))
+	return nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// route maps a global id to its segment and local id within the view.
+func (v *view) route(id int) (seg, local int, err error) {
+	if id < 0 || id >= v.sealed() {
+		return 0, 0, fmt.Errorf("%w: id %d", docmap.ErrNoSuchDoc, id)
+	}
+	s := sort.Search(len(v.segs), func(i int) bool { return v.starts[i+1] > id })
+	return s, id - v.starts[s], nil
+}
+
+// GetAppend retrieves document id, appending its text to dst.
+func (c *Collection) GetAppend(dst []byte, id int) ([]byte, error) {
+	v, release := c.acquireView()
+	defer release()
+	if _, dead := v.tomb[id]; dead {
+		return dst, fmt.Errorf("collection: document %d: %w", id, ErrDeleted)
+	}
+	if id >= 0 && id >= v.sealed() {
+		if v.open != nil {
+			local := id - v.sealed()
+			if local < v.open.count() {
+				return v.open.get(dst, local)
+			}
+		}
+		return dst, fmt.Errorf("%w: id %d of %d", docmap.ErrNoSuchDoc, id, c.numDocs(v))
+	}
+	s, local, err := v.route(id)
+	if err != nil {
+		return dst, fmt.Errorf("%w of %d", err, c.numDocs(v))
+	}
+	return v.segs[s].GetAppend(dst, local)
+}
+
+// Get retrieves document id.
+func (c *Collection) Get(id int) ([]byte, error) {
+	return c.GetAppend(nil, id)
+}
+
+// Extent returns the extent a Get for id physically reads, within the
+// owning segment's file (a collection has no single byte address space).
+func (c *Collection) Extent(id int) (off, n int64, err error) {
+	v, release := c.acquireView()
+	defer release()
+	if _, dead := v.tomb[id]; dead {
+		return 0, 0, fmt.Errorf("collection: document %d: %w", id, ErrDeleted)
+	}
+	if id >= 0 && id >= v.sealed() {
+		if v.open != nil {
+			local := id - v.sealed()
+			if local < v.open.count() {
+				return v.open.extent(local)
+			}
+		}
+		return 0, 0, fmt.Errorf("%w: id %d of %d", docmap.ErrNoSuchDoc, id, c.numDocs(v))
+	}
+	s, local, err := v.route(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.segs[s].Extent(local)
+}
+
+func (c *Collection) numDocs(v *view) int {
+	total := v.sealed()
+	if v.open != nil {
+		total += v.open.count()
+	}
+	return total
+}
+
+// NumDocs returns the total number of allocated document ids, tombstoned
+// ids included (they are routable and return not-found — ids are never
+// renumbered).
+func (c *Collection) NumDocs() int { return c.numDocs(c.view.Load()) }
+
+// NumSegments returns the sealed segment count of the current view.
+func (c *Collection) NumSegments() int { return len(c.view.Load().segs) }
+
+// Size returns the total on-disk payload size: sealed segment bytes
+// plus the open segment's current extent.
+func (c *Collection) Size() int64 {
+	v, release := c.acquireView()
+	defer release()
+	size := v.sizes
+	if v.open != nil {
+		size += v.open.size()
+	}
+	return size
+}
+
+// Stats reports the collection's aggregate figures under the Live
+// backend label (segments may mix backends; per-segment identity is in
+// Info).
+func (c *Collection) Stats() archive.Stats {
+	v, release := c.acquireView()
+	defer release()
+	// One pinned view supplies every figure, so the snapshot cannot tear
+	// across a concurrent generation swap.
+	size := v.sizes
+	if v.open != nil {
+		size += v.open.size()
+	}
+	st := archive.Stats{Backend: archive.Live, NumDocs: c.numDocs(v), Size: size}
+	for _, sr := range v.segs {
+		s := sr.Stats()
+		st.DictLen += s.DictLen
+		st.NumBlocks += s.NumBlocks
+		if st.Codec == "" {
+			st.Codec = s.Codec
+		}
+	}
+	return st
+}
+
+// SegmentInfo describes one segment for stats and tooling.
+type SegmentInfo struct {
+	Path    string          `json:"path"`
+	Backend archive.Backend `json:"backend"`
+	Docs    int             `json:"num_docs"`
+	Size    int64           `json:"size_bytes"`
+}
+
+// Info is a point-in-time snapshot of the collection's generational
+// shape — what rlzd's /stats breakdown serves.
+type Info struct {
+	Generation uint64        `json:"generation"`
+	Segments   []SegmentInfo `json:"segments"`
+	OpenSeg    string        `json:"open_segment,omitempty"`
+	OpenDocs   int           `json:"open_docs"`
+	Tombstones int           `json:"tombstones"`
+	NumDocs    int           `json:"num_docs"`
+	// PendingDocs counts documents not yet in a compressed segment: the
+	// open segment plus every raw sealed segment — what a compaction
+	// would drain.
+	PendingDocs int `json:"pending_docs"`
+}
+
+// Info snapshots the collection's generational shape.
+func (c *Collection) Info() Info {
+	v, release := c.acquireView()
+	defer release()
+	info := Info{Generation: v.gen, Tombstones: len(v.tomb), NumDocs: c.numDocs(v)}
+	for i, sr := range v.segs {
+		st := sr.Stats()
+		info.Segments = append(info.Segments, SegmentInfo{
+			Path: v.paths[i], Backend: st.Backend, Docs: st.NumDocs, Size: sr.Size(),
+		})
+		if st.Backend == archive.Raw {
+			info.PendingDocs += st.NumDocs
+		}
+	}
+	if v.open != nil {
+		info.OpenSeg = v.open.name
+		info.OpenDocs = v.open.count()
+		info.PendingDocs += info.OpenDocs
+	}
+	return info
+}
+
+// GC removes files in the collection directory that no longer belong to
+// the current generation: orphaned segment files from crashed
+// compactions or seals, leftover .tmp and .lens files. Returns the names
+// removed. Refused while a compaction is running (its tmp files are not
+// orphans yet).
+func (c *Collection) GC() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.compacting {
+		return nil, ErrCompacting
+	}
+	keep := map[string]bool{ManifestName: true, DictName: true}
+	for _, s := range c.man.Segments {
+		// Keep the whole first path element: a shard-set segment is a
+		// subdirectory.
+		first := strings.SplitN(filepath.ToSlash(filepath.Clean(s.Path)), "/", 2)[0]
+		keep[first] = true
+	}
+	if c.man.OpenSeg != "" {
+		keep[c.man.OpenSeg] = true
+		keep[lensName(c.man.OpenSeg)] = true
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		// Only touch files this package created: segment files, their
+		// sidecars, and temporaries. Anything else in the directory is
+		// the user's business.
+		if !strings.HasPrefix(name, "seg-") && !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(c.dir, name)); err != nil {
+			return removed, err
+		}
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	return removed, nil
+}
+
+// Close releases the collection's resources: the current view is marked
+// dying and its segment readers and open-segment handles close as soon
+// as in-flight reads drain (immediately, when none are in flight).
+// Reads arriving after Close race its drain and may return errors.
+func (c *Collection) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	v := c.view.Load()
+	v.dying.Store(true)
+	v.unref()
+	return nil
+}
+
+// FromReader unwraps r (through any wrappers) to the live Collection,
+// reporting whether r serves one. cmd/rlzd uses it to light up the write
+// API when archive.Open handed it a collection.
+func FromReader(r archive.Reader) (*Collection, bool) {
+	for {
+		if c, ok := r.(*Collection); ok {
+			return c, true
+		}
+		u, ok := r.(interface{ Unwrap() archive.Reader })
+		if !ok {
+			return nil, false
+		}
+		r = u.Unwrap()
+	}
+}

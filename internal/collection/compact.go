@@ -1,0 +1,400 @@
+package collection
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rlz/internal/archive"
+	"rlz/internal/rlz"
+)
+
+// CompactOptions tunes the background compactor. The zero value selects
+// the repository defaults: ZV codec, a sampled dictionary of 1% of the
+// compacted bytes, the fast factorization engine's default jump table,
+// GOMAXPROCS build workers.
+type CompactOptions struct {
+	// Codec is the RLZ pair codec for compacted segments.
+	Codec rlz.PairCodec
+	// Dict supplies the compaction dictionary directly. When empty, the
+	// DICT file is used if present; otherwise a dictionary is sampled
+	// from the documents being compacted and persisted as DICT, so every
+	// later compaction factorizes against the same dictionary.
+	Dict []byte
+	// DictSize and SampleSize tune dictionary sampling (see
+	// archive.SampleDict); ignored when a dictionary already exists.
+	DictSize   int
+	SampleSize int
+	// Factorizer tunes the fast factorization engine (PR 4); shared by
+	// every build worker through the one prepared dictionary.
+	Factorizer rlz.FactorizerOptions
+	// Workers bounds build concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// CompactResult summarizes one compaction.
+type CompactResult struct {
+	Generation  uint64   `json:"generation"`
+	Compacted   int      `json:"segments_compacted"`
+	NewSegments []string `json:"new_segments"`
+	Docs        int      `json:"docs"`
+	BytesBefore int64    `json:"bytes_before"`
+	BytesAfter  int64    `json:"bytes_after"`
+}
+
+// run is one maximal run of consecutive raw segments to be drained into
+// a single RLZ segment.
+type run struct {
+	lo, hi int // segment indices [lo, hi)
+	start  int // global id of the run's first document
+	docs   int
+	seq    uint64 // sequence number of the replacement segment
+	segs   []archive.Reader
+	bytes  int64
+}
+
+// Compact drains the append path into the paper's format: the open
+// segment is sealed, every maximal run of consecutive raw segments is
+// rewritten as one RLZ archive factorized against the shared prepared
+// dictionary, a new generation is published, and the superseded files
+// are removed. Document ids and bytes are preserved exactly; tombstoned
+// documents are stored as empty (their ids still return not-found).
+//
+// The expensive build runs without the write lock, so appends and
+// deletes proceed concurrently; only the manifest swaps at either end
+// take it. One compaction may run at a time (ErrCompacting otherwise).
+func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
+	var res CompactResult
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return res, fmt.Errorf("collection: compact on closed collection")
+	}
+	if c.compacting {
+		c.mu.Unlock()
+		return res, ErrCompacting
+	}
+	if err := c.sealLocked(); err != nil {
+		c.mu.Unlock()
+		return res, err
+	}
+	v := c.view.Load()
+	runs := findRuns(v, &c.man.NextSeq)
+	if len(runs) == 0 {
+		res.Generation = v.gen
+		c.mu.Unlock()
+		return res, nil
+	}
+	tomb := v.tomb
+	c.compacting = true
+	c.mu.Unlock()
+
+	finish := func(err error) (CompactResult, error) {
+		c.mu.Lock()
+		c.compacting = false
+		c.mu.Unlock()
+		return res, err
+	}
+
+	dict, err := c.ensureDict(runs, tomb, opts)
+	if err != nil {
+		return finish(err)
+	}
+	aopts := archive.Options{
+		Backend:      archive.RLZ,
+		Codec:        opts.Codec,
+		PreparedDict: dict,
+		Factorizer:   opts.Factorizer,
+		Workers:      opts.Workers,
+	}
+	built := make([]string, len(runs))
+	for i := range runs {
+		name := segFileName(runs[i].seq)
+		if err := buildRunSegment(c.dir, name, &runs[i], tomb, aopts); err != nil {
+			for _, b := range built[:i] {
+				os.Remove(filepath.Join(c.dir, b))
+			}
+			return finish(err)
+		}
+		built[i] = name
+	}
+
+	// Open and verify every replacement before touching shared state, so
+	// a failure leaves the collection exactly as it was.
+	newReaders := make([]archive.Reader, len(runs))
+	cleanup := func() {
+		for _, sr := range newReaders {
+			if sr != nil {
+				sr.Close()
+			}
+		}
+		for _, b := range built {
+			os.Remove(filepath.Join(c.dir, b))
+		}
+	}
+	for i := range runs {
+		sr, err := openSegmentReader(c.dir, built[i])
+		if err == nil && sr.NumDocs() != runs[i].docs {
+			sr.Close()
+			err = fmt.Errorf("collection: compacted segment %s holds %d documents, expected %d", built[i], sr.NumDocs(), runs[i].docs)
+		}
+		if err != nil {
+			cleanup()
+			return finish(err)
+		}
+		newReaders[i] = sr
+	}
+
+	// Splice the manifest and view. Segment indices are stable while
+	// compacting: appends only touch the open segment, deletes only the
+	// tombstone set, and no second compaction can start. Runs splice in
+	// reverse so earlier runs' indices stay valid.
+	c.mu.Lock()
+	if c.closed {
+		// Close ran during the unlocked build and already released every
+		// reader; publishing a view over closed segments would leak the
+		// replacements and serve errors. The built files are
+		// unreferenced (no publish happened), so removing them is safe.
+		c.compacting = false
+		c.mu.Unlock()
+		cleanup()
+		return res, fmt.Errorf("collection: compact on closed collection")
+	}
+	m := c.cloneManifest()
+	nv := cloneView(c.view.Load())
+	var superseded []string
+	for i := len(runs) - 1; i >= 0; i-- {
+		r := runs[i]
+		name := built[i]
+		for _, p := range m.Segments[r.lo:r.hi] {
+			superseded = append(superseded, p.Path)
+		}
+		res.BytesAfter += newReaders[i].Size()
+		m.Segments = splice(m.Segments, r.lo, r.hi, Segment{Path: name, Docs: r.docs})
+		// The replaced readers simply drop out of the new view; their
+		// resource entries close once the older views drain.
+		nv.segs = splice(nv.segs, r.lo, r.hi, newReaders[i])
+		nv.segRes = splice(nv.segRes, r.lo, r.hi, newResource(newReaders[i]))
+		nv.paths = splice(nv.paths, r.lo, r.hi, name)
+		res.Compacted += r.hi - r.lo
+		res.Docs += r.docs
+		res.BytesBefore += r.bytes
+		res.NewSegments = append(res.NewSegments, name)
+	}
+	// The splice ran in reverse; report the new segments in id order
+	// like every other segment list in the system.
+	for i, j := 0, len(res.NewSegments)-1; i < j; i, j = i+1, j-1 {
+		res.NewSegments[i], res.NewSegments[j] = res.NewSegments[j], res.NewSegments[i]
+	}
+	nv.starts = make([]int, len(nv.segs)+1)
+	nv.sizes = 0
+	for i, sr := range nv.segs {
+		nv.starts[i+1] = nv.starts[i] + sr.NumDocs()
+		nv.sizes += sr.Size()
+	}
+	if err := c.publishLocked(m, nv); err != nil {
+		c.compacting = false
+		c.mu.Unlock()
+		// Close the replacement readers but leave their files: a publish
+		// error after writeFileAtomic's rename (a failed directory
+		// fsync) means the on-disk manifest may already reference them;
+		// deleting them would strand it. Unreferenced files are gc'd.
+		for _, sr := range newReaders {
+			sr.Close()
+		}
+		return res, err
+	}
+	res.Generation = m.Generation
+	c.compacting = false
+	c.mu.Unlock()
+
+	// Garbage-collect the superseded segment files. Old views may still
+	// be mid-read on them: their readers stay open (retired) and POSIX
+	// keeps unlinked files readable, so removal is safe immediately.
+	for _, p := range superseded {
+		os.RemoveAll(filepath.Join(c.dir, p))
+		os.Remove(filepath.Join(c.dir, lensName(p)))
+	}
+	return res, nil
+}
+
+// findRuns collects the maximal runs of consecutive raw segments and
+// allocates each replacement's sequence number. The allocation is
+// persisted only by the final publish: a crash in between leaves a .tmp
+// or a fully renamed orphan under a not-yet-persisted sequence number —
+// both unreferenced by the manifest, skipped by the open-segment
+// allocator, overwritable by a retried compaction, and removed by gc.
+func findRuns(v *view, nextSeq *uint64) []run {
+	var runs []run
+	i := 0
+	for i < len(v.segs) {
+		if v.segs[i].Stats().Backend != archive.Raw {
+			i++
+			continue
+		}
+		r := run{lo: i, start: v.starts[i]}
+		for i < len(v.segs) && v.segs[i].Stats().Backend == archive.Raw {
+			r.docs += v.segs[i].NumDocs()
+			r.bytes += v.segs[i].Size()
+			r.segs = append(r.segs, v.segs[i])
+			i++
+		}
+		r.hi = i
+		r.seq = *nextSeq
+		*nextSeq++
+		runs = append(runs, r)
+	}
+	return runs
+}
+
+// runSource streams a run's documents for dictionary sampling and the
+// compaction build. Tombstoned documents yield empty bodies: their ids
+// keep their slots (id stability) but cost no storage and never pollute
+// the dictionary.
+type runSource struct {
+	r    *run
+	tomb map[int]struct{}
+	seg  int
+	next int // local id within segs[seg]
+	id   int // global id of the next document
+}
+
+func (s *runSource) Next() (archive.Doc, error) {
+	for s.seg < len(s.r.segs) && s.next >= s.r.segs[s.seg].NumDocs() {
+		s.seg++
+		s.next = 0
+	}
+	if s.seg >= len(s.r.segs) {
+		return archive.Doc{}, io.EOF
+	}
+	id := s.id
+	s.id++
+	local := s.next
+	s.next++
+	if _, dead := s.tomb[id]; dead {
+		return archive.Doc{Name: fmt.Sprintf("doc-%d", id)}, nil
+	}
+	// Get, not a reused GetAppend buffer: the parallel build pipeline
+	// retains submitted bodies past the next call.
+	body, err := s.r.segs[s.seg].Get(local)
+	if err != nil {
+		return archive.Doc{}, fmt.Errorf("collection: reading document %d for compaction: %w", id, err)
+	}
+	return archive.Doc{Name: fmt.Sprintf("doc-%d", id), Body: body}, nil
+}
+
+// buildRunSegment builds one run's replacement RLZ archive at its final
+// name via tmp+fsync+rename, so a crash leaves no half-written segment
+// under a live name.
+func buildRunSegment(dir, name string, r *run, tomb map[int]struct{}, aopts archive.Options) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	src := &runSource{r: r, tomb: tomb, id: r.start}
+	if _, err := archive.Create(tmp, src, aopts); err != nil {
+		return fmt.Errorf("collection: compacting into %s: %w", name, err)
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ensureDict returns the shared prepared compaction dictionary, building
+// it on first use: explicit option bytes win, then the persisted DICT
+// file, then a fresh sample over the documents about to be compacted
+// (persisted as DICT for every later compaction). The O(m log m)
+// suffix-array preparation happens once per process and is shared by all
+// build workers and all compactions — the PR 4 contract.
+func (c *Collection) ensureDict(runs []run, tomb map[int]struct{}, opts CompactOptions) (*rlz.Dictionary, error) {
+	if c.dict != nil {
+		return c.dict, nil
+	}
+	data := opts.Dict
+	persist := len(data) > 0 // caller-supplied bytes become the collection's DICT
+	dictPath := filepath.Join(c.dir, DictName)
+	if len(data) == 0 {
+		if b, err := os.ReadFile(dictPath); err == nil && len(b) > 0 {
+			data = b // already persisted; no rewrite needed
+		}
+	}
+	if len(data) == 0 {
+		openSrc := func() (archive.DocSource, error) {
+			return &multiRunSource{runs: runs, tomb: tomb}, nil
+		}
+		var err error
+		data, _, err = archive.SampleDict(openSrc, opts.DictSize, opts.SampleSize)
+		if err != nil {
+			return nil, fmt.Errorf("collection: sampling compaction dictionary: %w", err)
+		}
+		persist = len(data) > 0 // a fresh sample becomes the collection's DICT
+		if len(data) == 0 {
+			// Every pending document is empty or tombstoned: there is
+			// nothing to sample, but the run must still drain (otherwise
+			// the auto-compactor retries it forever). Factorize against a
+			// minimal placeholder and neither persist nor cache it, so
+			// the first compaction that sees real bytes samples a proper
+			// dictionary.
+			return rlz.NewDictionary([]byte{0})
+		}
+	}
+	if persist {
+		if err := writeFileAtomic(dictPath, data); err != nil {
+			return nil, fmt.Errorf("collection: persisting dictionary: %w", err)
+		}
+	}
+	d, err := rlz.NewDictionary(data)
+	if err != nil {
+		return nil, err
+	}
+	c.dict = d
+	return d, nil
+}
+
+// multiRunSource chains every run's documents for dictionary sampling.
+type multiRunSource struct {
+	runs []run
+	tomb map[int]struct{}
+	i    int
+	cur  *runSource
+}
+
+func (s *multiRunSource) Next() (archive.Doc, error) {
+	for {
+		if s.cur == nil {
+			if s.i >= len(s.runs) {
+				return archive.Doc{}, io.EOF
+			}
+			s.cur = &runSource{r: &s.runs[s.i], tomb: s.tomb, id: s.runs[s.i].start}
+			s.i++
+		}
+		d, err := s.cur.Next()
+		if err == io.EOF {
+			s.cur = nil
+			continue
+		}
+		return d, err
+	}
+}
+
+// splice returns s with [lo, hi) replaced by one element, leaving s
+// itself untouched (live views share the original backing array).
+func splice[T any](s []T, lo, hi int, repl T) []T {
+	out := make([]T, 0, len(s)-(hi-lo)+1)
+	out = append(out, s[:lo]...)
+	out = append(out, repl)
+	return append(out, s[hi:]...)
+}

@@ -1,0 +1,133 @@
+package collection
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, m *Manifest) *Manifest {
+	t.Helper()
+	got, err := UnmarshalManifest(m.Marshal(nil))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	return got
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Generation: 7,
+		NextSeq:    12,
+		OpenSeg:    "seg-00000011",
+		Segments: []Segment{
+			{Path: "seg-00000001", Docs: 100},
+			{Path: "shards/sub", Docs: 0},
+			{Path: "seg-00000009", Docs: 1},
+		},
+		Tombstones: []int{0, 3, 99, 100},
+	}
+	got := roundTrip(t, m)
+	if got.Generation != 7 || got.NextSeq != 12 || got.OpenSeg != m.OpenSeg {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Segments) != 3 || got.Segments[1].Path != "shards/sub" || got.Segments[0].Docs != 100 {
+		t.Fatalf("segments %+v", got.Segments)
+	}
+	if len(got.Tombstones) != 4 || got.Tombstones[3] != 100 {
+		t.Fatalf("tombstones %v", got.Tombstones)
+	}
+}
+
+func TestManifestRoundTripMinimal(t *testing.T) {
+	got := roundTrip(t, &Manifest{Generation: 1, NextSeq: 1})
+	if got.Generation != 1 || len(got.Segments) != 0 || len(got.Tombstones) != 0 || got.OpenSeg != "" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestManifestRejectsHostile(t *testing.T) {
+	base := &Manifest{Generation: 3, NextSeq: 5, Segments: []Segment{{Path: "seg-00000001", Docs: 4}}}
+	cases := []struct {
+		name   string
+		mutate func() []byte
+	}{
+		{"empty", func() []byte { return nil }},
+		{"bad magic", func() []byte {
+			b := base.Marshal(nil)
+			b[0] = 'X'
+			return b
+		}},
+		{"bad version", func() []byte {
+			b := base.Marshal(nil)
+			b[4] = 99
+			return b
+		}},
+		{"truncated", func() []byte {
+			b := base.Marshal(nil)
+			return b[:len(b)-5]
+		}},
+		{"trailing bytes", func() []byte {
+			return append(base.Marshal(nil), 0)
+		}},
+		{"absolute segment path", func() []byte {
+			m := *base
+			m.Segments = []Segment{{Path: "/etc/passwd", Docs: 1}}
+			return m.Marshal(nil)
+		}},
+		{"escaping segment path", func() []byte {
+			m := *base
+			m.Segments = []Segment{{Path: "../outside", Docs: 1}}
+			return m.Marshal(nil)
+		}},
+		{"duplicate segment", func() []byte {
+			m := *base
+			m.Segments = []Segment{{Path: "a", Docs: 1}, {Path: "./a", Docs: 1}}
+			return m.Marshal(nil)
+		}},
+		{"open segment with separator", func() []byte {
+			m := *base
+			m.OpenSeg = "sub/seg"
+			return m.Marshal(nil)
+		}},
+		{"segment naming open segment", func() []byte {
+			m := *base
+			m.OpenSeg = "seg-00000001"
+			return m.Marshal(nil)
+		}},
+		{"unsorted tombstones", func() []byte {
+			// Hand-roll: Marshal delta-codes, so descending input would be
+			// re-sorted by accident; corrupt a valid encoding instead by
+			// zeroing a delta (duplicate id).
+			m := *base
+			m.Tombstones = []int{5, 5}
+			return m.Marshal(nil)
+		}},
+		{"generation zero", func() []byte {
+			m := *base
+			m.Generation = 0
+			return m.Marshal(nil)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalManifest(tc.mutate()); !errors.Is(err, ErrCorruptManifest) {
+			t.Errorf("%s: err = %v, want ErrCorruptManifest", tc.name, err)
+		}
+	}
+}
+
+// A declared count far beyond the actual bytes must fail before any
+// large allocation.
+func TestManifestCountAmplification(t *testing.T) {
+	b := (&Manifest{Generation: 1, NextSeq: 1}).Marshal(nil)
+	// Splice an absurd segment count where the real one (0) sits. The
+	// count field follows header(5) + gen(1) + seq(1) + openseg len(1).
+	pos := 8
+	hostile := append([]byte{}, b[:pos]...)
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge uvarint
+	hostile = append(hostile, b[pos+1:]...)
+	_, err := UnmarshalManifest(hostile)
+	if !errors.Is(err, ErrCorruptManifest) || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+package collection
+
+import (
+	"bytes"
+	"fmt"
+
+	"rlz/internal/archive"
+	"rlz/internal/docmap"
+)
+
+// FindAll collects occurrences of pattern across the whole live
+// collection — compacted RLZ segments search in the compressed domain
+// via their own Searcher, raw segments and the open append segment scan
+// their (uncompressed) documents directly — in global-id order, up to
+// limit (0 = all). Tombstoned documents never match. Together with
+// GetRange this makes rlz grep work over a collection unchanged.
+func (c *Collection) FindAll(pattern []byte, limit int) ([]archive.Match, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("collection: empty search pattern")
+	}
+	v, release := c.acquireView()
+	defer release()
+	var out []archive.Match
+	full := func() bool { return limit > 0 && len(out) >= limit }
+	for i, sr := range v.segs {
+		if full() {
+			return out[:limit], nil
+		}
+		start := v.starts[i]
+		if s, ok := archive.AsSearcher(sr); ok {
+			// Tombstones force an unlimited sub-query: a capped one could
+			// spend its whole budget on masked documents.
+			sub := 0
+			if limit > 0 && !anyTombIn(v.tomb, start, v.starts[i+1]) {
+				sub = limit - len(out)
+			}
+			ms, err := s.FindAll(pattern, sub)
+			if err != nil {
+				return out, fmt.Errorf("collection: segment %d: %w", i, err)
+			}
+			for _, m := range ms {
+				if _, dead := v.tomb[start+m.Doc]; dead {
+					continue
+				}
+				out = append(out, archive.Match{Doc: start + m.Doc, Offset: m.Offset})
+				if full() {
+					break
+				}
+			}
+			continue
+		}
+		var err error
+		out, err = scanReader(out, sr, start, v.tomb, pattern, limit)
+		if err != nil {
+			return out, fmt.Errorf("collection: segment %d: %w", i, err)
+		}
+	}
+	if v.open != nil && !full() {
+		start := v.sealed()
+		n := v.open.count()
+		var buf []byte
+		for local := 0; local < n && !full(); local++ {
+			if _, dead := v.tomb[start+local]; dead {
+				continue
+			}
+			var err error
+			buf, err = v.open.get(buf[:0], local)
+			if err != nil {
+				return out, err
+			}
+			out = appendMatches(out, buf, start+local, pattern, limit)
+		}
+	}
+	if full() {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// scanReader brute-scans a non-Searcher segment document by document.
+func scanReader(out []archive.Match, sr archive.Reader, start int, tomb map[int]struct{}, pattern []byte, limit int) ([]archive.Match, error) {
+	var buf []byte
+	for local := 0; local < sr.NumDocs(); local++ {
+		if limit > 0 && len(out) >= limit {
+			return out, nil
+		}
+		if _, dead := tomb[start+local]; dead {
+			continue
+		}
+		var err error
+		buf, err = sr.GetAppend(buf[:0], local)
+		if err != nil {
+			return out, err
+		}
+		out = appendMatches(out, buf, start+local, pattern, limit)
+	}
+	return out, nil
+}
+
+// appendMatches records every occurrence of pattern in doc (overlapping
+// occurrences included, matching the RLZ searcher's semantics).
+func appendMatches(out []archive.Match, doc []byte, globalID int, pattern []byte, limit int) []archive.Match {
+	for off := 0; ; {
+		k := bytes.Index(doc[off:], pattern)
+		if k < 0 {
+			return out
+		}
+		out = append(out, archive.Match{Doc: globalID, Offset: off + k})
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		off += k + 1
+	}
+}
+
+// anyTombIn reports whether any tombstone falls in [lo, hi).
+func anyTombIn(tomb map[int]struct{}, lo, hi int) bool {
+	if len(tomb) == 0 {
+		return false
+	}
+	// The tombstone set is usually far smaller than a segment.
+	if len(tomb) < hi-lo {
+		for t := range tomb {
+			if t >= lo && t < hi {
+				return true
+			}
+		}
+		return false
+	}
+	for id := lo; id < hi; id++ {
+		if _, dead := tomb[id]; dead {
+			return true
+		}
+	}
+	return false
+}
+
+// GetRange retrieves bytes [from, to) of document id without decoding
+// the whole document where the owning segment supports it (RLZ), and by
+// decode-and-slice otherwise. Out-of-range requests clamp to the
+// document's extent, matching the RLZ searcher's semantics.
+func (c *Collection) GetRange(id, from, to int) ([]byte, error) {
+	v, release := c.acquireView()
+	defer release()
+	if _, dead := v.tomb[id]; dead {
+		return nil, fmt.Errorf("collection: document %d: %w", id, ErrDeleted)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if id >= 0 && id < v.sealed() {
+		s, local, err := v.route(id)
+		if err != nil {
+			return nil, err
+		}
+		if sch, ok := archive.AsSearcher(v.segs[s]); ok {
+			return sch.GetRange(local, from, to)
+		}
+		doc, err := v.segs[s].Get(local)
+		if err != nil {
+			return nil, err
+		}
+		return sliceRange(doc, from, to), nil
+	}
+	if v.open != nil {
+		local := id - v.sealed()
+		if local >= 0 && local < v.open.count() {
+			doc, err := v.open.get(nil, local)
+			if err != nil {
+				return nil, err
+			}
+			return sliceRange(doc, from, to), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: id %d of %d", docmap.ErrNoSuchDoc, id, c.numDocs(v))
+}
+
+// sliceRange clamps [from, to) to doc's extent (from already >= 0).
+func sliceRange(doc []byte, from, to int) []byte {
+	if from > len(doc) {
+		from = len(doc)
+	}
+	if to > len(doc) {
+		to = len(doc)
+	}
+	if to <= from {
+		return nil
+	}
+	return doc[from:to]
+}

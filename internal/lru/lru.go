@@ -88,6 +88,31 @@ func (c *Cache) Put(key uint64, data []byte) {
 	}
 }
 
+// Remove drops the entry for key, reporting whether one was cached. The
+// serving layer uses it to invalidate a single document (e.g. after a
+// delete) without discarding the rest of a hot cache.
+func (c *Cache) Remove(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
+// Purge drops every entry. The serving layer calls it when its cache
+// epoch space wraps, so no key from an ancient epoch can alias a
+// current one.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+}
+
 // Len reports the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

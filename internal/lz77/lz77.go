@@ -188,6 +188,28 @@ func Compress(dst, src []byte, opt Options) []byte {
 	return coding.PutU32(dst, adler32.Checksum(src))
 }
 
+// DeclaredLen parses a compressed stream's header and returns the
+// uncompressed length it declares, without decompressing anything.
+// Callers holding an independent size budget (the blockstore's
+// locator-derived block size) check it first, so a hostile stream
+// cannot make Decompress allocate its declared bomb.
+func DeclaredLen(src []byte) (int, error) {
+	if len(src) < 3 || src[0] != magic0 || src[1] != magic1 {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if src[2] != version {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, src[2])
+	}
+	n64, _, err := coding.Uvarint64(src[3:])
+	if err != nil {
+		return 0, fmt.Errorf("%w: length header: %v", ErrCorrupt, err)
+	}
+	if n64 > 1<<40 {
+		return 0, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n64)
+	}
+	return int(n64), nil
+}
+
 // Decompress appends the decompressed form of src to dst. It verifies the
 // trailing checksum and every match distance, so corrupt or truncated
 // streams return an error rather than bad data.

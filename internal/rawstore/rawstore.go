@@ -33,12 +33,18 @@ const (
 // ErrCorruptArchive is returned when a raw archive fails structural checks.
 var ErrCorruptArchive = errors.New("rawstore: corrupt archive")
 
+// HeaderSize is the fixed byte size of a raw archive's header. Payload
+// bytes start here; internal/collection's open append segment uses it to
+// map its recovery log onto in-file document extents.
+const HeaderSize = headerSize
+
 // Writer builds a raw archive.
 type Writer struct {
-	w      io.Writer
-	n      int64
-	m      *docmap.Map
-	closed bool
+	w        io.Writer
+	n        int64
+	m        *docmap.Map
+	closed   bool
+	closeErr error
 }
 
 // NewWriter starts a raw archive on w.
@@ -50,6 +56,25 @@ func NewWriter(w io.Writer) (*Writer, error) {
 		return nil, fmt.Errorf("rawstore: writing header: %w", err)
 	}
 	return rw, nil
+}
+
+// ResumeWriter reconstructs a Writer over a partially written archive:
+// w's backing store already holds the header and the first len(lens)
+// documents (of the given byte lengths), back to back, and w is
+// positioned directly after them. Appends continue from there and Close
+// finalizes the archive as usual, covering the pre-existing documents.
+//
+// This is the crash-recovery path of internal/collection's open append
+// segment: the data file is truncated to its last intact document (per a
+// sidecar length log) and writing resumes in place — no document is ever
+// rewritten.
+func ResumeWriter(w io.Writer, lens []uint64) *Writer {
+	rw := &Writer{w: w, m: docmap.New(), n: headerSize}
+	for _, l := range lens {
+		rw.m.Append(l)
+		rw.n += int64(l)
+	}
+	return rw
 }
 
 // Append stores a document verbatim, returning its ID.
@@ -68,10 +93,14 @@ func (w *Writer) Append(doc []byte) (int, error) {
 // NumDocs returns the number of documents appended so far.
 func (w *Writer) NumDocs() int { return w.m.Len() }
 
-// Close writes the document map and footer.
+// Close writes the document map and footer. A failed footer write is
+// sticky: repeated Closes report the same error rather than pretending
+// the archive was finalized (a blind retry after a partial footer would
+// corrupt the map offset; recover by reopening, which truncates the
+// partial tail).
 func (w *Writer) Close() error {
 	if w.closed {
-		return nil
+		return w.closeErr
 	}
 	w.closed = true
 	mapOff := w.n
@@ -82,9 +111,9 @@ func (w *Writer) Close() error {
 	k, err := w.w.Write(tail)
 	w.n += int64(k)
 	if err != nil {
-		return fmt.Errorf("rawstore: writing footer: %w", err)
+		w.closeErr = fmt.Errorf("rawstore: writing footer: %w", err)
 	}
-	return nil
+	return w.closeErr
 }
 
 // Reader provides random access to a raw archive.

@@ -4,8 +4,9 @@
 // LRU document cache (internal/lru, the same cache the blockstore uses
 // for blocks, lifted here so the rlz and raw backends benefit too),
 // per-request buffer pooling around the GetAppend zero-allocation path,
-// a batch API with per-document error reporting, and read statistics
-// (hits, misses, bytes decoded, p50/p99 latency).
+// a batch API with per-document error reporting, read statistics
+// (hits, misses, bytes decoded, p50/p99 latency), and lock-free reader
+// hot-swap so a live collection can be reloaded under traffic.
 //
 // The paper's headline claim (HoobinPZ11) is that RLZ makes random
 // access under load cheap; this package is where "under load" becomes
@@ -44,16 +45,77 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// epochBits is how much of the cache key the document id keeps; the
+// epoch occupies the remaining high bits. Ids at or above 1<<epochShift
+// (a trillion documents) bypass the cache rather than collide.
+const epochShift = 40
+
+// epochCycle is the number of distinct epochs the key's high bits can
+// express. Epochs 2^24 apart produce identical cache keys, so whenever
+// the epoch crosses a cycle boundary the cache is purged outright —
+// no entry can survive into the epoch range that would alias it.
+const epochCycle = 1 << (64 - epochShift)
+
+// readerHandle owns one underlying reader's lifetime: a reference count
+// draining in-flight requests before a swapped-out reader is closed.
+// Epoch bumps wrap the SAME handle in a new epochReader, so however many
+// epochs a reader serves under, it has exactly one refcount and closes
+// exactly once — after every request pinned on any of its epochs drains.
+type readerHandle struct {
+	r archive.Reader
+	// refs counts 1 for being installed plus 1 per in-flight request.
+	// It can never return from 0: acquisition CASes and fails at 0.
+	refs atomic.Int64
+	// closeOnDrain is set by Swap when the reader is replaced; the
+	// goroutine that drops refs to 0 then closes r.
+	closeOnDrain atomic.Bool
+}
+
+// tryRef takes a reference unless the handle is already drained.
+func (h *readerHandle) tryRef() bool {
+	for {
+		n := h.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if h.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// unref drops a reference; the last one closes a swapped-out reader.
+func (h *readerHandle) unref() {
+	if h.refs.Add(-1) == 0 && h.closeOnDrain.Load() {
+		h.r.Close()
+	}
+}
+
+// epochReader is one generation of the Server's serving state: the
+// reader's lifetime handle plus the epoch that tags its cache entries.
+type epochReader struct {
+	h     *readerHandle
+	epoch uint64
+}
+
 // Server serves documents from an archive.Reader to many goroutines.
 //
 // Concurrency: every Server method is safe for concurrent use. The
 // Server relies on the archive.Reader concurrency contract (methods safe
 // with distinct destination buffers) and layers internally-synchronized
 // state — the document cache, the buffer pool, the statistics — on top.
-// The Reader must not be closed while requests are in flight.
+//
+// Hot swap: Swap atomically replaces the backing reader without blocking
+// requests. Each request pins the reader generation it started on via a
+// reference count; a swapped-out reader is closed by the Server once its
+// last in-flight request drains. Cache entries are keyed by (epoch, id),
+// so a document cached from one generation can never be served from the
+// next — the swapped-in reader starts with a logically empty cache. The
+// currently installed reader is NOT owned by the Server: close it after
+// the Server is quiesced (readers replaced via Swap are the exception —
+// the Server closes those itself after drain).
 type Server struct {
-	r       archive.Reader
-	backend archive.Backend
+	cur     atomic.Pointer[epochReader]
 	cache   *lru.Cache // nil = uncached
 	workers int
 	pool    sync.Pool // *[]byte scratch buffers for Do and GetBatch
@@ -68,13 +130,13 @@ type Server struct {
 }
 
 // New wraps r in a Server. The Server does not take ownership of r;
-// close the Reader after the Server is quiesced.
+// close the Reader after the Server is quiesced (or replace it with
+// Swap, which closes it once drained).
 func New(r archive.Reader, opts Options) *Server {
-	s := &Server{
-		r:       r,
-		backend: r.Stats().Backend,
-		workers: opts.workers(),
-	}
+	s := &Server{workers: opts.workers()}
+	h := &readerHandle{r: r}
+	h.refs.Store(1)
+	s.cur.Store(&epochReader{h: h, epoch: 1})
 	if opts.CacheDocs > 0 {
 		s.cache = lru.New(opts.CacheDocs)
 	}
@@ -85,11 +147,124 @@ func New(r archive.Reader, opts Options) *Server {
 	return s
 }
 
-// Reader returns the wrapped archive.Reader.
-func (s *Server) Reader() archive.Reader { return s.r }
+// acquire pins the current reader generation for one request. The
+// CAS-guarded reference means a handle being drained by Swap cannot be
+// resurrected: if the pointer moved (or the refs hit zero) between load
+// and ref, the loop retries on the new generation. The returned
+// epochReader's epoch may be one bump stale by the time it is used —
+// that is the intended linearization (the request began before the
+// bump), and its cache writes land under the dead epoch's key.
+func (s *Server) acquire() *epochReader {
+	for {
+		e := s.cur.Load()
+		if e.h.tryRef() {
+			if s.cur.Load() == e {
+				return e
+			}
+			// Swapped or bumped under us. If only the epoch moved the
+			// handle ref would still be sound, but retrying keeps the
+			// invariant simple: a returned epochReader was current at
+			// ref time.
+			e.h.unref()
+		}
+	}
+}
+
+// Swap atomically installs next as the backing reader and bumps the
+// cache epoch, so no bytes cached from the old reader are ever served
+// again. The old reader is closed by the Server once its last in-flight
+// request drains (immediately, when none are in flight); the call itself
+// never blocks on traffic. The Server takes ownership of the old reader
+// and relinquishes none of next — close next yourself after quiesce
+// unless a later Swap replaces it too.
+func (s *Server) Swap(next archive.Reader) {
+	h := &readerHandle{r: next}
+	h.refs.Store(1)
+	n := &epochReader{h: h}
+	for {
+		old := s.cur.Load()
+		n.epoch = old.epoch + 1
+		if s.cur.CompareAndSwap(old, n) {
+			s.purgeOnCycle(n.epoch)
+			old.h.closeOnDrain.Store(true)
+			old.h.unref() // drop the installed ref; last request closes it
+			return
+		}
+	}
+}
+
+// purgeOnCycle empties the cache when the epoch crosses an aliasing
+// cycle boundary (every 2^24 bumps — unreachable in practice, cheap to
+// guard). A request already in flight across the boundary may re-insert
+// one pre-boundary entry afterwards; it would need to survive another
+// full cycle of bumps under LRU pressure to ever alias, so the guard is
+// sound for any real workload.
+func (s *Server) purgeOnCycle(epoch uint64) {
+	if s.cache != nil && epoch%epochCycle == 0 {
+		s.cache.Purge()
+	}
+}
+
+// BumpEpoch advances the cache epoch without replacing the reader,
+// logically emptying the document cache. Unlike Invalidate, this closes
+// the fetch/mutate race: a request that read its document under the old
+// epoch publishes its cache entry under the old key, which no future
+// request can ever hit. Callers that mutate the backing store in place
+// (rlzd after a delete) use it so stale bytes cannot be cached past the
+// mutation. The reader itself is untouched — the new epoch shares the
+// same lifetime handle, so no drain happens and a later Swap still
+// closes the reader exactly once, after requests pinned on ANY of its
+// epochs finish.
+func (s *Server) BumpEpoch() {
+	for {
+		old := s.cur.Load()
+		// The installed handle reference carries over to the new wrapper.
+		n := &epochReader{h: old.h, epoch: old.epoch + 1}
+		if s.cur.CompareAndSwap(old, n) {
+			s.purgeOnCycle(n.epoch)
+			return
+		}
+	}
+}
+
+// Epoch returns the current reader generation, starting at 1 and
+// incremented by every Swap.
+func (s *Server) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Reader returns the currently installed archive.Reader. With Swap in
+// play the result may be stale by the time it is used; callers that need
+// a stable reader for the duration of a request should go through the
+// Server's own methods instead.
+func (s *Server) Reader() archive.Reader { return s.cur.Load().h.r }
 
 // NumDocs returns the number of documents in the underlying archive.
-func (s *Server) NumDocs() int { return s.r.NumDocs() }
+func (s *Server) NumDocs() int { return s.cur.Load().h.r.NumDocs() }
+
+// cacheKey maps (epoch, id) to an LRU key; ok is false for ids too
+// large to tag with an epoch, which simply bypass the cache.
+func cacheKey(epoch uint64, id int) (key uint64, ok bool) {
+	if uint64(id) >= 1<<epochShift {
+		return 0, false
+	}
+	return epoch<<epochShift | uint64(id), true
+}
+
+// Invalidate drops document id from the cache under the current epoch,
+// reporting whether an entry was cached. It is a point eviction only —
+// a request that fetched the document before a backing-store mutation
+// can re-cache it afterwards, so for mutations that must never be
+// served again (a live collection's delete) use BumpEpoch, which closes
+// that race; rlzd's DELETE handler does.
+func (s *Server) Invalidate(id int) bool {
+	if s.cache == nil {
+		return false
+	}
+	key, ok := cacheKey(s.cur.Load().epoch, id)
+	if !ok {
+		return false
+	}
+	return s.cache.Remove(key)
+}
 
 // GetAppend retrieves document id, appending its text to dst — the
 // zero-steady-state-allocation path. Each concurrent caller must pass
@@ -103,8 +278,11 @@ func (s *Server) NumDocs() int { return s.r.NumDocs() }
 func (s *Server) GetAppend(dst []byte, id int) ([]byte, error) {
 	start := time.Now()
 	s.requests.Add(1)
-	if s.cache != nil {
-		if doc := s.cache.Get(uint64(id)); doc != nil {
+	e := s.acquire()
+	defer e.h.unref()
+	key, cacheable := cacheKey(e.epoch, id)
+	if s.cache != nil && cacheable {
+		if doc := s.cache.Get(key); doc != nil {
 			s.hits.Add(1)
 			s.served.Add(int64(len(doc)))
 			s.lat.observe(time.Since(start))
@@ -112,15 +290,15 @@ func (s *Server) GetAppend(dst []byte, id int) ([]byte, error) {
 		}
 	}
 	base := len(dst)
-	dst, err := s.r.GetAppend(dst, id)
+	dst, err := e.h.r.GetAppend(dst, id)
 	if err != nil {
 		s.errors.Add(1)
 		return dst, err
 	}
 	doc := dst[base:]
-	if s.cache != nil {
+	if s.cache != nil && cacheable {
 		s.misses.Add(1)
-		s.cache.Put(uint64(id), doc)
+		s.cache.Put(key, doc)
 	}
 	s.decoded.Add(int64(len(doc)))
 	s.served.Add(int64(len(doc)))
@@ -204,10 +382,13 @@ func (s *Server) Stats() Stats {
 	if s.cache != nil {
 		cached, capacity = s.cache.Len(), s.cache.Capacity()
 	}
+	e := s.acquire()
+	defer e.h.unref()
 	return Stats{
-		Backend:      string(s.backend),
-		NumDocs:      s.r.NumDocs(),
-		ArchiveSize:  s.r.Size(),
+		Backend:      string(e.h.r.Stats().Backend),
+		Epoch:        e.epoch,
+		NumDocs:      e.h.r.NumDocs(),
+		ArchiveSize:  e.h.r.Size(),
 		Requests:     s.requests.Load(),
 		Errors:       s.errors.Load(),
 		CacheHits:    s.hits.Load(),

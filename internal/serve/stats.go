@@ -58,6 +58,7 @@ func (h *latHist) quantile(q float64) time.Duration {
 // upper-bound estimates from a power-of-two histogram, in nanoseconds.
 type Stats struct {
 	Backend      string `json:"backend"`
+	Epoch        uint64 `json:"epoch"`
 	NumDocs      int    `json:"num_docs"`
 	ArchiveSize  int64  `json:"archive_size_bytes"`
 	Requests     int64  `json:"requests"`

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +18,13 @@ import (
 // distinct dst buffers.
 type Getter interface {
 	GetAppend(dst []byte, id int) ([]byte, error)
+}
+
+// Appender is the write-side counterpart: a live collection
+// (internal/collection) and HTTPGetter (POST /append against rlzd) both
+// satisfy it. Implementations must be safe for concurrent use.
+type Appender interface {
+	Append(doc []byte) (int, error)
 }
 
 // Result summarizes one closed-loop load run.
@@ -83,6 +92,105 @@ func Run(g Getter, ids []int, concurrency int) Result {
 	return res
 }
 
+// MixedResult summarizes one closed-loop mixed read/append run.
+type MixedResult struct {
+	Reads       int64         // read operations issued
+	Appends     int64         // append operations issued
+	Errors      int64         // operations that returned an error
+	ReadBytes   int64         // document bytes received by reads
+	AppendBytes int64         // document bytes submitted by appends
+	Elapsed     time.Duration // wall time of the whole run
+}
+
+// Throughput returns the total operation rate in ops per second.
+func (r MixedResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Reads+r.Appends) / r.Elapsed.Seconds()
+}
+
+// RunMixed drives a live store with a closed-loop mixed workload:
+// `concurrency` workers each hold one outstanding operation, pulling the
+// next slot from a shared schedule that spreads len(docs) appends evenly
+// through len(ids) reads — the ingest-under-traffic shape a live
+// collection exists to serve. The schedule is deterministic, so two runs
+// over the same inputs issue the same operation sequence (though
+// interleaving across workers still varies). Reads use each worker's
+// reused buffer (the zero-allocation GetAppend path); failed operations
+// count in Errors and the run continues.
+func RunMixed(g Getter, a Appender, ids []int, docs [][]byte, concurrency int) MixedResult {
+	var res MixedResult
+	total := len(ids) + len(docs)
+	if total == 0 {
+		return res
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > total {
+		concurrency = total
+	}
+	// Slot i is an append iff the even-spread quota of appends rises at
+	// i; with that, readIdx/appendIdx for any slot follow by prefix
+	// counts, kept as the schedule is built.
+	isAppend := make([]bool, total)
+	opIdx := make([]int, total) // index into ids or docs, per slot
+	reads, appends := 0, 0
+	for i := 0; i < total; i++ {
+		if (i+1)*len(docs)/total != i*len(docs)/total {
+			isAppend[i] = true
+			opIdx[i] = appends
+			appends++
+		} else {
+			opIdx[i] = reads
+			reads++
+		}
+	}
+	var next, errs, nReads, nAppends, readBytes, appendBytes atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if isAppend[i] {
+					doc := docs[opIdx[i]]
+					nAppends.Add(1)
+					if _, err := a.Append(doc); err != nil {
+						errs.Add(1)
+						continue
+					}
+					appendBytes.Add(int64(len(doc)))
+					continue
+				}
+				nReads.Add(1)
+				var err error
+				buf, err = g.GetAppend(buf[:0], ids[opIdx[i]])
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				readBytes.Add(int64(len(buf)))
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Reads = nReads.Load()
+	res.Appends = nAppends.Load()
+	res.Errors = errs.Load()
+	res.ReadBytes = readBytes.Load()
+	res.AppendBytes = appendBytes.Load()
+	return res
+}
+
 // HTTPGetter adapts a running rlzd daemon to the Getter interface, so the
 // same load generator drives the in-process Server and the HTTP serving
 // path. Safe for concurrent use (http.Client is).
@@ -125,6 +233,33 @@ func (h *HTTPGetter) GetAppend(dst []byte, id int) ([]byte, error) {
 		return dst[:base], err
 	}
 	return dst, nil
+}
+
+// Append submits POST {BaseURL}/append with doc as the raw body,
+// returning the stable id the daemon assigned — the write half of the
+// mixed workload against a live rlzd.
+func (h *HTTPGetter) Append(doc []byte) (int, error) {
+	c := h.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	resp, err := c.Post(h.BaseURL+"/append", "application/octet-stream", bytes.NewReader(doc))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		return 0, fmt.Errorf("workload: POST /append: %s: %s", resp.Status, body)
+	}
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&out); err != nil {
+		return 0, fmt.Errorf("workload: POST /append response: %w", err)
+	}
+	return out.ID, nil
 }
 
 // readAppend is io.ReadAll into an existing buffer: the response body is

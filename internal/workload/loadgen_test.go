@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -183,5 +184,77 @@ func TestHTTPGetterCapsErrorBody(t *testing.T) {
 	res := Run(g, []int{1, 2, 3, 4, 5, 6, 7, 8}, 4)
 	if res.Errors != 8 {
 		t.Errorf("Errors = %d, want 8", res.Errors)
+	}
+}
+
+// memStore is an in-memory Getter+Appender for RunMixed tests.
+type memStore struct {
+	mu   sync.Mutex
+	docs [][]byte
+}
+
+func (m *memStore) GetAppend(dst []byte, id int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.docs) {
+		return dst, fmt.Errorf("no doc %d", id)
+	}
+	return append(dst, m.docs[id]...), nil
+}
+
+func (m *memStore) Append(doc []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.docs = append(m.docs, append([]byte(nil), doc...))
+	return len(m.docs) - 1, nil
+}
+
+func TestRunMixed(t *testing.T) {
+	store := &memStore{}
+	var appends [][]byte
+	for i := 0; i < 10; i++ {
+		store.Append([]byte(fmt.Sprintf("seed doc %d", i)))
+		appends = append(appends, []byte(fmt.Sprintf("appended doc %d", i)))
+	}
+	ids := Sequential(10, 90)
+	res := RunMixed(store, store, ids, appends, 4)
+	if res.Errors != 0 {
+		t.Fatalf("mixed run errors: %+v", res)
+	}
+	if res.Reads != 90 || res.Appends != 10 {
+		t.Fatalf("op counts: %+v", res)
+	}
+	if len(store.docs) != 20 {
+		t.Fatalf("store holds %d docs, want 20", len(store.docs))
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("throughput = %f", res.Throughput())
+	}
+	var wantAppend int64
+	for _, d := range appends {
+		wantAppend += int64(len(d))
+	}
+	if res.AppendBytes != wantAppend {
+		t.Fatalf("AppendBytes = %d, want %d", res.AppendBytes, wantAppend)
+	}
+}
+
+func TestRunMixedEdgeShapes(t *testing.T) {
+	store := &memStore{}
+	store.Append([]byte("only"))
+	// No appends: behaves like a pure read run.
+	res := RunMixed(store, store, Sequential(1, 10), nil, 2)
+	if res.Reads != 10 || res.Appends != 0 || res.Errors != 0 {
+		t.Fatalf("read-only mixed run: %+v", res)
+	}
+	// No reads: pure append run.
+	res = RunMixed(store, store, nil, [][]byte{[]byte("a"), []byte("b")}, 2)
+	if res.Reads != 0 || res.Appends != 2 || res.Errors != 0 {
+		t.Fatalf("append-only mixed run: %+v", res)
+	}
+	// Empty everything.
+	res = RunMixed(store, store, nil, nil, 2)
+	if res.Reads != 0 || res.Appends != 0 {
+		t.Fatalf("empty mixed run: %+v", res)
 	}
 }
