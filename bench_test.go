@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"rlz/internal/archive"
+	"rlz/internal/blockstore"
 	"rlz/internal/collection"
 	"rlz/internal/corpus"
 	"rlz/internal/experiment"
@@ -160,6 +161,74 @@ func BenchmarkCrossBackendGet(b *testing.B) {
 	}
 }
 
+// serveBackendOptions is crossBackendOptions plus the block backend's
+// codec axis (PR 6): the serving benchmarks track how far the pluggable
+// codecs move the zlib cliff without multiplying the build/shard grids.
+func serveBackendOptions(coll *corpus.Collection) []struct {
+	name string
+	opts archive.Options
+} {
+	out := crossBackendOptions(coll)
+	// The speed-tier codecs trade ratio for serving latency, so their
+	// serving configuration also trades: 64 KiB blocks cut the decode
+	// amplification of a random access 4× against the zlib entry's
+	// 256 KiB (the paper-fidelity point, kept unchanged for comparison).
+	for _, alg := range []struct {
+		name string
+		alg  blockstore.Algorithm
+	}{
+		{"flate-block", blockstore.Flate},
+		{"lzr-block", blockstore.LZR},
+	} {
+		out = append(out, struct {
+			name string
+			opts archive.Options
+		}{alg.name, archive.Options{Backend: archive.Block, BlockSize: 64 << 10, Algorithm: alg.alg}})
+	}
+	return out
+}
+
+// BenchmarkBlockCodecs is the codec matrix behind the README table: for
+// each block compressor, encoded size as a percentage of raw (enc-pct)
+// and single-threaded query-log decode throughput through one Reader.
+func BenchmarkBlockCodecs(b *testing.B) {
+	c := cfg(b)
+	coll := corpus.Generate(corpus.Gov, c.GovBytes, c.Seed)
+	raw := coll.TotalSize()
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
+	for _, alg := range []blockstore.Algorithm{blockstore.Zlib, blockstore.Flate, blockstore.LZ77, blockstore.LZR} {
+		var buf bytes.Buffer
+		opts := archive.Options{Backend: archive.Block, BlockSize: 256 << 10, Algorithm: alg}
+		if _, err := archive.Build(&buf, archive.FromBodies(bodies), opts); err != nil {
+			b.Fatal(err)
+		}
+		r, err := archive.OpenBytes(buf.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(alg.String(), func(b *testing.B) {
+			var dst []byte
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					dst, err = r.GetAppend(dst[:0], id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += int64(len(dst))
+				}
+			}
+			b.SetBytes(total / int64(b.N))
+			b.ReportMetric(100*float64(r.Size())/float64(raw), "enc-pct")
+		})
+	}
+}
+
 // BenchmarkConcurrentGet measures the serving layer under load: a
 // closed-loop 8-worker query-log (zipfian) workload retrieving batches
 // through a shared serve.Server, for every backend, cached and uncached.
@@ -174,7 +243,7 @@ func BenchmarkConcurrentGet(b *testing.B) {
 		bodies[i] = d.Body
 	}
 	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
-	for _, bk := range crossBackendOptions(coll) {
+	for _, bk := range serveBackendOptions(coll) {
 		var buf bytes.Buffer
 		if _, err := archive.Build(&buf, archive.FromBodies(bodies), bk.opts); err != nil {
 			b.Fatal(err)
@@ -201,6 +270,7 @@ func BenchmarkConcurrentGet(b *testing.B) {
 				}
 				b.SetBytes(bytesServed / int64(b.N))
 				st := srv.Stats()
+				b.ReportMetric(float64(st.P50Nanos), "p50-ns")
 				b.ReportMetric(float64(st.P99Nanos), "p99-ns")
 				if st.CacheHits+st.CacheMisses > 0 {
 					b.ReportMetric(100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses), "hit-pct")
@@ -221,7 +291,7 @@ func BenchmarkConcurrentGetBatch(b *testing.B) {
 		bodies[i] = d.Body
 	}
 	ids := workload.QueryLog(coll.Len(), c.QlogRequests, c.Seed)
-	for _, bk := range crossBackendOptions(coll) {
+	for _, bk := range serveBackendOptions(coll) {
 		var buf bytes.Buffer
 		if _, err := archive.Build(&buf, archive.FromBodies(bodies), bk.opts); err != nil {
 			b.Fatal(err)

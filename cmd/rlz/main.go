@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rlz build -o archive.rlz [-backend rlz|block|raw] [-codec ZV] [-dict 1MB] [-sample 1KB] FILE...
-//	rlz build -o archive.blk -backend block [-block 256KB] [-alg zlib|lzma] -dir ./crawl
+//	rlz build -o archive.blk -backend block [-block 256KB] [-alg zlib|flate|lzma|lzr] -dir ./crawl
 //	rlz build -o crawl.shards -shards 16 -warc crawl.warc
 //	rlz get -a archive.rlz -id 3
 //	rlz cat -a archive.rlz
@@ -50,6 +50,7 @@ import (
 
 	"rlz/internal/archive"
 	"rlz/internal/blockstore"
+	"rlz/internal/codec"
 	"rlz/internal/collection"
 	"rlz/internal/lz77"
 	"rlz/internal/rlz"
@@ -99,7 +100,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rlz build  -o ARCHIVE [-backend rlz|block|raw] [-workers N] [-shards N] FILE... | -dir DIR | -warc FILE
              rlz backend:   [-codec ZZ|ZV|UZ|UV|ZS|US|ZH|UH] [-dict SIZE] [-sample SIZE] [-factq 1-3] [-nojump]
-             block backend: [-block SIZE] [-alg zlib|lzma]
+             block backend: [-block SIZE] [-alg zlib|flate|lzma|lzr]
              -shards N > 1 writes a shard directory; read commands take -a DIR
              profiling:     [-cpuprofile FILE] [-memprofile FILE]
   rlz get    -a ARCHIVE -id N
@@ -128,7 +129,7 @@ func cmdBuild(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the build to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the build to this file")
 	blockSize := fs.String("block", "256KB", "block backend: uncompressed block capacity; 0 means one doc per block")
-	algName := fs.String("alg", "zlib", "block backend compressor: zlib or lzma")
+	algName := fs.String("alg", "zlib", "block backend compressor: zlib, flate, lzma or lzr")
 	workers := fs.Int("workers", 0, "build concurrency; 0 means GOMAXPROCS (output is identical at any count)")
 	shards := fs.Int("shards", 1, "split the archive into N independently built shards (-o becomes a directory)")
 	dir := fs.String("dir", "", "treat every regular file under this directory as a document")
@@ -230,14 +231,16 @@ func cmdBuild(args []string) error {
 			return err
 		}
 		opts.BlockSize = bs
-		switch *algName {
-		case "zlib":
-			opts.Algorithm = blockstore.Zlib
-		case "lzma":
-			opts.Algorithm = blockstore.LZ77
+		// Resolve against the codec registry, so every registered codec is
+		// buildable by name and an unknown one fails here — before any
+		// input is read — with the full codec list.
+		cdc, err := codec.ByName(*algName)
+		if err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+		opts.Algorithm = blockstore.Algorithm(cdc.ID())
+		if opts.Algorithm == blockstore.LZ77 || opts.Algorithm == blockstore.LZR {
 			opts.LZ77 = lz77.Options{WindowSize: 4 << 20, MaxChain: 32}
-		default:
-			return fmt.Errorf("build: unknown algorithm %q (want zlib or lzma)", *algName)
 		}
 	}
 
@@ -432,58 +435,93 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	defer r.Close()
-	// Decode in parallel: the Reader concurrency contract makes a shared
-	// reader safe, so verification of large archives scales with cores.
-	// Each worker reuses one buffer (the GetAppend zero-allocation path)
-	// rather than materializing documents it is about to discard.
 	n := *workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	var (
-		next    atomic.Int64
-		deleted atomic.Int64
-		mu      sync.Mutex
+		deleted int64
 		badID   = -1
 		badErr  error
 		numDocs = r.NumDocs()
 	)
-	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var buf []byte
-			for {
-				id := int(next.Add(1)) - 1
-				if id >= numDocs {
-					return
-				}
-				var err error
-				if buf, err = r.GetAppend(buf[:0], id); err != nil {
-					// A live collection's tombstoned ids return not-found
-					// by design: they are verified absences, not decode
-					// failures.
-					if errors.Is(err, collection.ErrDeleted) {
-						deleted.Add(1)
-						continue
-					}
-					mu.Lock()
-					if badID < 0 || id < badID {
-						badID, badErr = id, err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
+	record := func(id int, err error) {
+		// A live collection's tombstoned ids return not-found by design:
+		// they are verified absences, not decode failures.
+		if errors.Is(err, collection.ErrDeleted) {
+			deleted++
+			return
+		}
+		if badID < 0 || id < badID {
+			badID, badErr = id, err
+		}
 	}
-	wg.Wait()
+	if br, ok := archive.AsBatchReader(r); ok {
+		// Batched verification: sequential id chunks decode each
+		// compressed block exactly once instead of once per resident
+		// document, with the blocks of a chunk fanned across the workers.
+		const chunk = 8192
+		ids := make([]int, chunk)
+		for base := 0; base < numDocs && badID < 0; base += chunk {
+			hi := base + chunk
+			if hi > numDocs {
+				hi = numDocs
+			}
+			ids = ids[:hi-base]
+			for i := range ids {
+				ids[i] = base + i
+			}
+			br.GetBatch(ids, n, func(i int, doc []byte, err error) {
+				if err != nil {
+					record(ids[i], err)
+				}
+			})
+		}
+	} else {
+		// Per-document parallel decode: the Reader concurrency contract
+		// makes a shared reader safe, so verification scales with cores.
+		// Each worker reuses one buffer (the GetAppend zero-allocation
+		// path) rather than materializing documents it will discard.
+		var (
+			next      atomic.Int64
+			deltombed atomic.Int64
+			mu        sync.Mutex
+		)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var buf []byte
+				for {
+					id := int(next.Add(1)) - 1
+					if id >= numDocs {
+						return
+					}
+					var err error
+					if buf, err = r.GetAppend(buf[:0], id); err != nil {
+						if errors.Is(err, collection.ErrDeleted) {
+							deltombed.Add(1)
+							continue
+						}
+						mu.Lock()
+						if badID < 0 || id < badID {
+							badID, badErr = id, err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		deleted += deltombed.Load()
+	}
 	if badErr != nil {
 		return fmt.Errorf("document %d: %w", badID, badErr)
 	}
-	if d := deleted.Load(); d > 0 {
-		fmt.Printf("%s: %d documents decode cleanly, %d tombstoned (%s backend)\n", *arc, int64(numDocs)-d, d, r.Stats().Backend)
+	if deleted > 0 {
+		fmt.Printf("%s: %d documents decode cleanly, %d tombstoned (%s backend)\n", *arc, int64(numDocs)-deleted, deleted, r.Stats().Backend)
 		return nil
 	}
 	fmt.Printf("%s: %d documents decode cleanly (%s backend)\n", *arc, numDocs, r.Stats().Backend)

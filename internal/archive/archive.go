@@ -26,6 +26,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"rlz/internal/mmapio"
 )
 
 // Backend names one of the storage schemes the paper evaluates.
@@ -159,6 +161,66 @@ func AsSearcher(r Reader) (Searcher, bool) {
 	}
 }
 
+// Viewer is the optional zero-copy access interface: backends whose
+// storage is memory-mapped (raw archives opened by Open on a platform
+// with mmap support, a live collection's segments) serve document bytes
+// as sub-slices of the mapping — no read syscall, no copy, no
+// allocation.
+//
+// View is deliberately callback-shaped: doc is only valid during fn
+// (it may be a slice of a mapping that is unmapped once the reader — or
+// the collection generation — it belongs to is retired), so fn must
+// copy whatever outlives the call. ok reports whether the zero-copy
+// path handled the request at all: ok=false means the backend cannot
+// serve this document zero-copy (no mapping, or a compressed backend)
+// and the caller should fall back to GetAppend; err is only meaningful
+// when ok is true.
+type Viewer interface {
+	View(id int, fn func(doc []byte) error) (ok bool, err error)
+}
+
+// AsViewer reports whether r supports zero-copy views, looking through
+// file-owning wrappers like AsSearcher does.
+func AsViewer(r Reader) (Viewer, bool) {
+	for {
+		if v, ok := r.(Viewer); ok {
+			return v, true
+		}
+		u, ok := r.(interface{ Unwrap() Reader })
+		if !ok {
+			return nil, false
+		}
+		r = u.Unwrap()
+	}
+}
+
+// BatchReader is the optional batched-retrieval interface: backends
+// whose storage amortizes across documents (the block backend, where
+// documents sharing a block share one decompression; a collection
+// routing per segment) retrieve a whole id set with at most workers
+// concurrent decodes, calling visit exactly once per index of ids —
+// in backend-chosen order, from a single goroutine. doc is only valid
+// during visit; failures are reported per index so one bad id does not
+// void the batch.
+type BatchReader interface {
+	GetBatch(ids []int, workers int, visit func(i int, doc []byte, err error))
+}
+
+// AsBatchReader reports whether r supports batched retrieval, looking
+// through file-owning wrappers like AsSearcher does.
+func AsBatchReader(r Reader) (BatchReader, bool) {
+	for {
+		if b, ok := r.(BatchReader); ok {
+			return b, true
+		}
+		u, ok := r.(interface{ Unwrap() Reader })
+		if !ok {
+			return nil, false
+		}
+		r = u.Unwrap()
+	}
+}
+
 // OpenFunc opens one backend's archive from r covering size bytes.
 type OpenFunc func(r io.ReaderAt, size int64) (Reader, error)
 
@@ -265,17 +327,26 @@ func OpenBytes(data []byte) (Reader, error) {
 	return OpenReaderAt(bytes.NewReader(data), int64(len(data)))
 }
 
-// fileReader owns the file backing a Reader opened by Open.
+// fileReader owns the file backing a Reader opened by Open, plus the
+// memory mapping serving its reads when the platform supports one.
 type fileReader struct {
 	Reader
 	f *os.File
+	m *mmapio.Mapping // nil when reads go through the file
 }
 
 // Unwrap exposes the backend reader, e.g. for AsSearcher.
 func (r *fileReader) Unwrap() Reader { return r.Reader }
 
 func (r *fileReader) Close() error {
+	// Backend first (it may flush per-reader state), then the mapping its
+	// reads were served from, then the file.
 	err := r.Reader.Close()
+	if r.m != nil {
+		if merr := r.m.Close(); err == nil {
+			err = merr
+		}
+	}
 	if cerr := r.f.Close(); err == nil {
 		err = cerr
 	}
@@ -313,6 +384,21 @@ func Open(path string) (Reader, error) {
 				return e.open(path)
 			}
 		}
+	}
+	// Serve through a memory mapping when the platform has one: backend
+	// reads become copies out of the page cache (no syscall per read), and
+	// backends that understand the mapping's Slice method (rawstore's
+	// zero-copy views, the blockstore's compressed-block reads) skip even
+	// that copy. Any mmap failure — unsupported platform, unmappable
+	// filesystem — falls back to pread on the file, same semantics.
+	if m, err := mmapio.Map(f, st.Size()); err == nil {
+		rd, err := OpenReaderAt(m, st.Size())
+		if err != nil {
+			m.Close()
+			f.Close()
+			return nil, err
+		}
+		return &fileReader{Reader: rd, f: f, m: m}, nil
 	}
 	rd, err := OpenReaderAt(f, st.Size())
 	if err != nil {

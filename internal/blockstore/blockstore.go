@@ -2,7 +2,8 @@
 // paper compares against (§2.2): documents are grouped into fixed-size
 // blocks and each block is compressed independently with an adaptive
 // compressor — zlib (as Lucene/Indri do) or this repository's large-window
-// LZ77 coder standing in for lzma.
+// LZ77 coder standing in for lzma — plus the faster codecs the serving
+// tier grew (see internal/codec).
 //
 // Retrieving a document requires reading and decompressing its whole
 // block, so on average half a block of work per random access — exactly
@@ -11,7 +12,7 @@
 //
 // Layout:
 //
-//	header  magic "BLKS", version, algorithm byte
+//	header  magic "BLKS", version, algorithm byte (a codec registry ID)
 //	blocks  compressed blocks, concatenated
 //	maps    block map (extents of blocks), then per-document locators
 //	        (block index delta, offset in block, length), then footer
@@ -20,19 +21,23 @@ package blockstore
 
 import (
 	"bytes"
-	"compress/zlib"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"sync"
 
+	"rlz/internal/codec"
 	"rlz/internal/coding"
 	"rlz/internal/docmap"
 	"rlz/internal/lz77"
 	"rlz/internal/pipeline"
 )
 
-// Algorithm selects the per-block compressor.
+// Algorithm selects the per-block compressor; its byte value is the
+// codec registry ID recorded in the archive header (internal/codec), so
+// readers auto-detect whichever codec built an archive.
 type Algorithm byte
 
 const (
@@ -42,16 +47,25 @@ const (
 	// LZ77 compresses blocks with the large-window coder from
 	// internal/lz77 — the paper's lzma baseline.
 	LZ77 Algorithm = 'l'
+	// Flate compresses blocks with deflate at BestSpeed (zlib framing,
+	// so blocks stay checksummed) — the mid ladder point: near zlib's
+	// ratio at a fraction of the encode cost and a faster decode.
+	Flate Algorithm = 'f'
+	// LZR compresses blocks with the no-entropy-stage LZ variant
+	// (lz77.CompressRaw): byte-aligned tokens, no Huffman tables, the
+	// fastest decode in the ladder at the weakest ratio.
+	LZR Algorithm = 'r'
 )
 
 // String names the algorithm as the paper's tables do.
 func (a Algorithm) String() string {
 	switch a {
-	case Zlib:
-		return "zlib"
 	case LZ77:
 		return "lzma*" // the lzma-substitute; see DESIGN.md
 	default:
+		if c, ok := codec.ByID(byte(a)); ok {
+			return c.Name()
+		}
 		return fmt.Sprintf("Algorithm(%d)", byte(a))
 	}
 }
@@ -68,10 +82,10 @@ var ErrCorruptArchive = errors.New("blockstore: corrupt archive")
 
 // MaxBlockUncompressed is the largest uncompressed block size Open
 // accepts from an archive's document locators — the hard ceiling on
-// what one GetAppend may be asked to decompress. The locators are part
-// of the (potentially hostile) archive, so without an absolute bound a
-// crafted file could declare a near-2^33 block and make the read path
-// allocate it; 1 GiB is orders of magnitude above any honest
+// what one block decode may be asked to materialize. The locators are
+// part of the (potentially hostile) archive, so without an absolute
+// bound a crafted file could declare a near-2^33 block and make the read
+// path allocate it; 1 GiB is orders of magnitude above any honest
 // configuration (default blocks are 256 KiB; a block exceeds this only
 // if one document does).
 const MaxBlockUncompressed = 1 << 30
@@ -82,8 +96,9 @@ type Options struct {
 	// one document per block.
 	BlockSize int
 	// Algorithm selects the block compressor; the zero value means Zlib.
+	// NewWriter rejects unregistered algorithms up front.
 	Algorithm Algorithm
-	// LZ77 tunes the LZ77 algorithm; ignored for Zlib.
+	// LZ77 tunes the LZ77-based codecs (LZ77, LZR); ignored otherwise.
 	LZ77 lz77.Options
 	// Workers sets the number of concurrent block compressors; values
 	// below 2 compress synchronously. Blocks are committed in order, so
@@ -98,6 +113,24 @@ func (o Options) algorithm() Algorithm {
 	return o.Algorithm
 }
 
+// Codec resolves the options' compressor against the codec registry,
+// configured with the options' LZ77 tuning where it applies. The error
+// names every registered codec — the fail-fast path of rlz build -alg.
+func (o Options) Codec() (codec.Codec, error) {
+	switch alg := o.algorithm(); alg {
+	case LZ77:
+		return codec.LZMA(o.LZ77), nil
+	case LZR:
+		return codec.LZR(o.LZ77), nil
+	default:
+		c, ok := codec.ByID(byte(alg))
+		if !ok {
+			return nil, fmt.Errorf("blockstore: unknown algorithm %q (want one of %v)", byte(alg), codec.Names())
+		}
+		return c, nil
+	}
+}
+
 // docLoc locates a document: which block, where within it, how long.
 type docLoc struct {
 	block  uint32
@@ -109,6 +142,7 @@ type docLoc struct {
 type Writer struct {
 	w         countingWriter
 	opt       Options
+	codec     codec.Codec
 	blocks    *docmap.Map // extents of compressed blocks
 	docs      []docLoc
 	cur       []byte // current uncompressed block
@@ -129,9 +163,15 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// NewWriter starts a blocked archive on w.
+// NewWriter starts a blocked archive on w. An Options.Algorithm that is
+// not in the codec registry fails here — before any bytes are written —
+// with an error naming the registered codecs.
 func NewWriter(w io.Writer, opt Options) (*Writer, error) {
-	bw := &Writer{w: countingWriter{w: w}, opt: opt, blocks: docmap.New()}
+	cdc, err := opt.Codec()
+	if err != nil {
+		return nil, err
+	}
+	bw := &Writer{w: countingWriter{w: w}, opt: opt, codec: cdc, blocks: docmap.New()}
 	hdr := []byte(headerMagic)
 	hdr = append(hdr, version, byte(opt.algorithm()))
 	if _, err := bw.w.Write(hdr); err != nil {
@@ -139,7 +179,7 @@ func NewWriter(w io.Writer, opt Options) (*Writer, error) {
 	}
 	if opt.Workers > 1 {
 		bw.pipe = pipeline.NewOrdered(opt.Workers,
-			func(block []byte) ([]byte, error) { return compressBlock(opt, block) },
+			func(block []byte) ([]byte, error) { return cdc.Compress(nil, block) },
 			func(comp []byte) error {
 				if _, err := bw.w.Write(comp); err != nil {
 					return fmt.Errorf("blockstore: writing block: %w", err)
@@ -175,31 +215,6 @@ func (w *Writer) Append(doc []byte) (int, error) {
 	return id, nil
 }
 
-// compressBlock compresses one block with the configured algorithm. It is
-// a pure function of its inputs, safe for concurrent use by the parallel
-// build pipeline.
-func compressBlock(opt Options, block []byte) ([]byte, error) {
-	switch opt.algorithm() {
-	case Zlib:
-		var buf bytes.Buffer
-		zw, err := zlib.NewWriterLevel(&buf, zlib.BestCompression)
-		if err != nil {
-			return nil, fmt.Errorf("blockstore: %w", err)
-		}
-		if _, err := zw.Write(block); err != nil {
-			return nil, fmt.Errorf("blockstore: %w", err)
-		}
-		if err := zw.Close(); err != nil {
-			return nil, fmt.Errorf("blockstore: %w", err)
-		}
-		return buf.Bytes(), nil
-	case LZ77:
-		return lz77.Compress(nil, block, opt.LZ77), nil
-	default:
-		return nil, fmt.Errorf("blockstore: unknown algorithm %q", opt.Algorithm)
-	}
-}
-
 func (w *Writer) flushBlock() error {
 	if len(w.cur) == 0 {
 		return nil
@@ -211,7 +226,7 @@ func (w *Writer) flushBlock() error {
 		w.cur = w.cur[:0]
 		return w.pipe.Submit(block)
 	}
-	comp, err := compressBlock(w.opt, w.cur)
+	comp, err := w.codec.Compress(nil, w.cur)
 	if err != nil {
 		return err
 	}
@@ -267,25 +282,28 @@ func (w *Writer) Close() error {
 
 // Reader provides random access to a blocked archive. Every Get reads and
 // decompresses the target document's entire block — the baseline cost
-// model the paper measures.
+// model the paper measures. GetBatch amortizes it: documents sharing a
+// block are served from one decode.
 //
 // Concurrency: all Reader methods are safe for concurrent use by multiple
 // goroutines, provided each call passes a distinct dst buffer. The Reader
-// itself holds no mutable per-call state (decompressors are constructed
-// per Get, the maps are immutable after Open, and the underlying
-// io.ReaderAt is accessed only through ReadAt), and the optional block
-// cache is internally synchronized. SetCacheBlocks is the one exception:
-// call it before the Reader is shared.
+// itself holds no mutable per-call state (decoder state and block buffers
+// are drawn from internal pools, the maps are immutable after Open, and
+// the underlying io.ReaderAt is accessed only through ReadAt), and the
+// optional block cache is internally synchronized. SetCacheBlocks is the
+// one exception: call it before the Reader is shared.
 type Reader struct {
 	r          io.ReaderAt
 	alg        Algorithm
+	decoders   *codec.Pool // nil only when constructed unsafely; reads fail loudly
 	blocks     *docmap.Map
 	docs       []docLoc
-	blockRaw   []int64 // per-block declared uncompressed size, from the locators
+	blockRaw   []int64 // per-block exact uncompressed size, from the locators
 	blockStart int64
 	size       int64
 	closer     io.Closer
 	cache      *blockCache // nil = uncached (paper-faithful)
+	bufs       sync.Pool   // *[]byte scratch: compressed reads and decoded blocks
 }
 
 // Open reads a blocked archive's maps from r, which must cover size bytes.
@@ -304,8 +322,9 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptArchive, hdr[4])
 	}
 	alg := Algorithm(hdr[5])
-	if alg != Zlib && alg != LZ77 {
-		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrCorruptArchive, hdr[5])
+	cdc, ok := codec.ByID(hdr[5])
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (known: %v)", ErrCorruptArchive, hdr[5], codec.Names())
 	}
 
 	foot := make([]byte, footerSize)
@@ -361,10 +380,10 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 		return nil, fmt.Errorf("%w: block map covers %d bytes, region is %d", ErrCorruptArchive, blocks.Total(), mapOff-blockStart)
 	}
 	// Derive each block's uncompressed size from its locators: documents
-	// are laid back to back from offset 0, so the block ends where its
-	// last document does. This is the decompression budget GetAppend
-	// enforces — a hostile archive cannot claim a tiny block and then
-	// inflate without bound.
+	// are laid back to back from offset 0, so the block is exactly as
+	// long as its last document's end. This is the decode budget every
+	// block decompression enforces — a hostile archive cannot claim a
+	// tiny block and then inflate without bound.
 	blockRaw := make([]int64, blocks.Len())
 	for i, d := range docs {
 		end := int64(d.offset) + int64(d.length)
@@ -375,7 +394,11 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 			blockRaw[d.block] = end
 		}
 	}
-	return &Reader{r: r, alg: alg, blocks: blocks, docs: docs, blockRaw: blockRaw, blockStart: blockStart, size: size}, nil
+	return &Reader{
+		r: r, alg: alg, decoders: codec.NewPool(cdc),
+		blocks: blocks, docs: docs, blockRaw: blockRaw,
+		blockStart: blockStart, size: size,
+	}, nil
 }
 
 // OpenBytes opens an archive held in memory.
@@ -428,83 +451,232 @@ func (r *Reader) Extent(id int) (off, n int64, err error) {
 	return r.blockStart + int64(o), int64(l), nil
 }
 
+// slicer is the zero-copy capability of a memory-mapped backing store
+// (internal/mmapio.Mapping satisfies it); duck-typed so this package
+// stays independent of how the caller produced its ReaderAt.
+type slicer interface {
+	Slice(off, n int64) ([]byte, error)
+}
+
+// getBuf draws a scratch buffer from the reader's pool.
+func (r *Reader) getBuf() *[]byte {
+	if b, ok := r.bufs.Get().(*[]byte); ok {
+		return b
+	}
+	b := make([]byte, 0, 4096)
+	return &b
+}
+
+// decodeBlock returns block bi decompressed. When the bytes come from the
+// internal cache, release is a no-op and the bytes must not be modified;
+// otherwise they live in a pooled buffer that release returns — callers
+// must copy what outlives the call, and must not call release twice.
+func (r *Reader) decodeBlock(bi uint32) (block []byte, release func(), err error) {
+	noop := func() {}
+	if r.cache != nil {
+		if b := r.cache.get(bi); b != nil {
+			return b, noop, nil
+		}
+	}
+	o, l, err := r.blocks.Extent(int(bi))
+	if err != nil {
+		return nil, noop, err
+	}
+	// Memory-mapped archives hand the compressed bytes over as a slice of
+	// the mapping — no read syscall, no staging copy; otherwise stage
+	// them through a pooled buffer.
+	var (
+		comp []byte
+		cb   *[]byte
+	)
+	if sl, ok := r.r.(slicer); ok {
+		comp, err = sl.Slice(r.blockStart+int64(o), int64(l))
+		if err != nil {
+			return nil, noop, fmt.Errorf("blockstore: reading block %d: %w", bi, err)
+		}
+	} else {
+		cb = r.getBuf()
+		comp = append((*cb)[:0], make([]byte, int(l))...)
+		if _, err := r.r.ReadAt(comp, r.blockStart+int64(o)); err != nil {
+			*cb = comp
+			r.bufs.Put(cb)
+			return nil, noop, fmt.Errorf("blockstore: reading block %d: %w", bi, err)
+		}
+	}
+	putComp := func() {
+		if cb != nil {
+			*cb = comp
+			r.bufs.Put(cb)
+		}
+	}
+	if r.decoders == nil {
+		// Open validates the algorithm byte, but a Reader constructed any
+		// other way must fail loudly here rather than fall through and
+		// report a misleading out-of-extent corruption.
+		putComp()
+		return nil, noop, fmt.Errorf("%w: unknown compression algorithm %q for block %d", ErrCorruptArchive, byte(r.alg), bi)
+	}
+	rb := r.getBuf()
+	dec := r.decoders.Get()
+	out, derr := dec.Decode((*rb)[:0], comp, int(r.blockRaw[bi]))
+	r.decoders.Put(dec)
+	putComp()
+	if derr != nil {
+		*rb = out
+		r.bufs.Put(rb)
+		return nil, noop, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, bi, derr)
+	}
+	if r.cache != nil {
+		r.cache.put(bi, out)
+	}
+	return out, func() { *rb = out; r.bufs.Put(rb) }, nil
+}
+
+// docFromBlock slices document id out of its decoded block.
+func (r *Reader) docFromBlock(block []byte, id int) ([]byte, error) {
+	loc := r.docs[id]
+	end := int(loc.offset) + int(loc.length)
+	if end > len(block) {
+		return nil, fmt.Errorf("%w: document %d extent [%d,%d) outside block of %d", ErrCorruptArchive, id, loc.offset, end, len(block))
+	}
+	return block[loc.offset:end], nil
+}
+
 // GetAppend retrieves document id, appending its text to dst. The whole
-// containing block is read and decompressed (no caching: each request pays
-// the full baseline cost, as in the paper's evaluation where OS caches are
-// dropped between runs).
+// containing block is read and decompressed into a pooled buffer (no
+// caching unless SetCacheBlocks opted in: each request pays the full
+// baseline cost, as in the paper's evaluation where OS caches are
+// dropped between runs), but steady-state decodes allocate nothing —
+// decoder state, compressed reads and block buffers are all pooled.
 func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
 	if id < 0 || id >= len(r.docs) {
 		return dst, fmt.Errorf("%w: document %d of %d", docmap.ErrNoSuchDoc, id, len(r.docs))
 	}
-	loc := r.docs[id]
-	if r.cache != nil {
-		if block := r.cache.get(loc.block); block != nil {
-			end := int(loc.offset) + int(loc.length)
-			if end > len(block) {
-				return dst, fmt.Errorf("%w: document %d extent [%d,%d) outside cached block of %d", ErrCorruptArchive, id, loc.offset, end, len(block))
-			}
-			return append(dst, block[loc.offset:end]...), nil
-		}
-	}
-	off, n, err := r.Extent(id)
+	block, release, err := r.decodeBlock(r.docs[id].block)
 	if err != nil {
 		return dst, err
 	}
-	comp := make([]byte, n)
-	if _, err := r.r.ReadAt(comp, off); err != nil {
-		return dst, fmt.Errorf("blockstore: reading block %d: %w", loc.block, err)
+	doc, err := r.docFromBlock(block, id)
+	if err != nil {
+		release()
+		return dst, err
 	}
-	// declared is the block's uncompressed size per the document
-	// locators — the inflation budget. Reading one byte past it detects
-	// a decompression bomb without materializing it.
-	declared := r.blockRaw[loc.block]
-	var block []byte
-	switch r.alg {
-	case Zlib:
-		zr, err := zlib.NewReader(bytes.NewReader(comp))
-		if err != nil {
-			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
-		}
-		block, err = io.ReadAll(io.LimitReader(zr, declared+1))
-		zr.Close()
-		if err != nil {
-			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
-		}
-		if int64(len(block)) > declared {
-			return dst, fmt.Errorf("%w: block %d inflates past its declared %d bytes", ErrCorruptArchive, loc.block, declared)
-		}
-	case LZ77:
-		// The stream's own length header bounds Decompress's output, so
-		// checking it against the budget up front prevents the bomb from
-		// ever being allocated.
-		if n, derr := lz77.DeclaredLen(comp); derr != nil {
-			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, derr)
-		} else if int64(n) > declared {
-			return dst, fmt.Errorf("%w: block %d declares %d uncompressed bytes, locators allow %d", ErrCorruptArchive, loc.block, n, declared)
-		}
-		block, err = lz77.Decompress(nil, comp)
-		if err != nil {
-			return dst, fmt.Errorf("%w: block %d: %v", ErrCorruptArchive, loc.block, err)
-		}
-	default:
-		// Open validates the algorithm byte, but a Reader constructed any
-		// other way must fail loudly here rather than fall through with a
-		// nil block and report a misleading out-of-extent corruption.
-		return dst, fmt.Errorf("%w: unknown compression algorithm %q for block %d", ErrCorruptArchive, byte(r.alg), loc.block)
-	}
-	if r.cache != nil {
-		r.cache.put(loc.block, block)
-	}
-	end := int(loc.offset) + int(loc.length)
-	if end > len(block) {
-		return dst, fmt.Errorf("%w: document %d extent [%d,%d) outside block of %d", ErrCorruptArchive, id, loc.offset, end, len(block))
-	}
-	return append(dst, block[loc.offset:end]...), nil
+	dst = append(dst, doc...)
+	release()
+	return dst, nil
 }
 
 // Get retrieves document id.
 func (r *Reader) Get(id int) ([]byte, error) {
 	return r.GetAppend(nil, id)
+}
+
+// GetBatch retrieves every id, decoding each distinct containing block
+// exactly once — documents sharing a block share one decompression, the
+// amortization a sequential per-document loop forfeits. With workers > 1
+// the distinct blocks are decoded concurrently on a bounded pool
+// (internal/pipeline) while visit is called from a single goroutine.
+//
+// visit is called exactly once per index i of ids, in ascending block
+// order (NOT ids order); doc is pooled storage valid only during the
+// call — append it to keep it. GetBatch is safe for concurrent use like
+// every other Reader method.
+func (r *Reader) GetBatch(ids []int, workers int, visit func(i int, doc []byte, err error)) {
+	if len(ids) == 0 {
+		return
+	}
+	// Group indices by containing block: order[] holds ids' indices
+	// sorted by (block, offset); out-of-range ids go first and are
+	// reported without any decode.
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) int64 {
+		id := ids[i]
+		if id < 0 || id >= len(r.docs) {
+			return -1
+		}
+		return int64(r.docs[id].block)<<32 | int64(r.docs[id].offset)
+	}
+	sort.Slice(order, func(a, b int) bool { return key(order[a]) < key(order[b]) })
+
+	at := 0
+	for at < len(order) && key(order[at]) < 0 {
+		i := order[at]
+		visit(i, nil, fmt.Errorf("%w: document %d of %d", docmap.ErrNoSuchDoc, ids[i], len(r.docs)))
+		at++
+	}
+	// runs[k] is the half-open range of order[] whose ids live in block
+	// blockOf[k].
+	type run struct {
+		bi       uint32
+		from, to int
+	}
+	var runs []run
+	for i := at; i < len(order); {
+		bi := r.docs[ids[order[i]]].block
+		j := i
+		for j < len(order) && r.docs[ids[order[j]]].block == bi {
+			j++
+		}
+		runs = append(runs, run{bi: bi, from: i, to: j})
+		i = j
+	}
+	serve := func(rn run, block []byte) {
+		for _, i := range order[rn.from:rn.to] {
+			doc, err := r.docFromBlock(block, ids[i])
+			visit(i, doc, err)
+		}
+	}
+	if workers <= 1 || len(runs) == 1 {
+		for _, rn := range runs {
+			block, release, err := r.decodeBlock(rn.bi)
+			if err != nil {
+				for _, i := range order[rn.from:rn.to] {
+					visit(i, nil, err)
+				}
+				continue
+			}
+			serve(rn, block)
+			release()
+		}
+		return
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	type decoded struct {
+		rn      run
+		block   []byte
+		release func()
+		err     error
+	}
+	// Ordered fan-out: blocks decode concurrently, visit commits from the
+	// pipeline's single committer goroutine (GetBatch blocks until every
+	// commit ran, so the visit-from-one-goroutine contract holds).
+	pipe := pipeline.NewOrdered(workers,
+		func(rn run) (decoded, error) {
+			block, release, err := r.decodeBlock(rn.bi)
+			return decoded{rn: rn, block: block, release: release, err: err}, nil
+		},
+		func(d decoded) error {
+			if d.err != nil {
+				for _, i := range order[d.rn.from:d.rn.to] {
+					visit(i, nil, d.err)
+				}
+				return nil
+			}
+			serve(d.rn, d.block)
+			d.release()
+			return nil
+		})
+	for _, rn := range runs {
+		if pipe.Submit(rn) != nil {
+			break
+		}
+	}
+	pipe.Close()
 }
 
 // Close releases the underlying file if the Reader owns one.

@@ -78,7 +78,7 @@ func verifyAll(t *testing.T, arc []byte, docs [][]byte, label string) *Reader {
 
 func TestRoundTripAlgorithmsAndBlockSizes(t *testing.T) {
 	docs := makeDocs(60, 1)
-	for _, alg := range []Algorithm{Zlib, LZ77} {
+	for _, alg := range []Algorithm{Zlib, LZ77, Flate, LZR} {
 		for _, bs := range []int{0, 256, 4096, 1 << 20} {
 			label := fmt.Sprintf("%s/%d", alg, bs)
 			arc := build(t, docs, Options{BlockSize: bs, Algorithm: alg})
@@ -324,10 +324,11 @@ func TestParallelWriterCloseDrainsAfterError(t *testing.T) {
 	t.Errorf("goroutines leaked: %d before, %d after 10 failed builds", before, runtime.NumGoroutine())
 }
 
-// TestGetUnknownAlgorithm covers the GetAppend compression switch's
-// default arm: a Reader whose algorithm byte is unrecognized must report
-// it explicitly instead of the misleading zero-length-block corruption
-// error that a nil block used to produce.
+// TestGetUnknownAlgorithm covers decodeBlock's guard arm: a Reader whose
+// codec was never resolved (Open validates, so this means a corrupted or
+// hand-constructed Reader) must report the unknown algorithm explicitly
+// instead of the misleading zero-length-block corruption error that a nil
+// block used to produce.
 func TestGetUnknownAlgorithm(t *testing.T) {
 	docs := makeDocs(5, 29)
 	arc := build(t, docs, Options{BlockSize: 4096})
@@ -335,7 +336,9 @@ func TestGetUnknownAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.alg = Algorithm('?') // Open validates; simulate a corrupted in-memory Reader
+	// Open validates; simulate a corrupted in-memory Reader.
+	r.alg = Algorithm('?')
+	r.decoders = nil
 	_, err = r.Get(0)
 	if err == nil {
 		t.Fatal("Get with unknown algorithm succeeded")
@@ -446,7 +449,7 @@ func TestZlibBombRejected(t *testing.T) {
 // for every honestly built archive — boundary check, not a behavior
 // change.
 func TestHonestBlockSizesStillServe(t *testing.T) {
-	for _, alg := range []Algorithm{Zlib, LZ77} {
+	for _, alg := range []Algorithm{Zlib, LZ77, Flate, LZR} {
 		var buf bytes.Buffer
 		w, err := NewWriter(&buf, Options{BlockSize: 64, Algorithm: alg})
 		if err != nil {
@@ -532,4 +535,181 @@ func TestHostileLocatorsRejected(t *testing.T) {
 	if _, err := OpenBytes(arc); !errors.Is(err, ErrCorruptArchive) {
 		t.Fatalf("Open with 4 GiB locator = %v, want ErrCorruptArchive", err)
 	}
+}
+
+// TestNewWriterRejectsUnknownAlgorithm pins the fail-fast contract: an
+// unregistered algorithm must fail at NewWriter — before any bytes are
+// written — naming the registered codecs, not at first block flush.
+func TestNewWriterRejectsUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := NewWriter(&buf, Options{Algorithm: Algorithm('?')})
+	if err == nil {
+		t.Fatal("NewWriter accepted an unknown algorithm")
+	}
+	for _, name := range []string{"zlib", "flate", "lzma", "lzr"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list codec %q", err, name)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("NewWriter wrote %d bytes before failing", buf.Len())
+	}
+}
+
+// TestCorruptBlockRejectedAllCodecs flips a byte inside each codec's
+// compressed block body; every codec must reject it (checksums: Adler-32
+// for zlib/flate, Adler-32 trailers for lzma*/lzr), never serve wrong
+// bytes silently.
+func TestCorruptBlockRejectedAllCodecs(t *testing.T) {
+	docs := makeDocs(30, 41)
+	for _, alg := range []Algorithm{Zlib, LZ77, Flate, LZR} {
+		arc := build(t, docs, Options{BlockSize: 4096, Algorithm: alg})
+		r0, err := OpenBytes(arc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, n, err := r0.Extent(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejected := false
+		// Flip each byte of doc 0's block in turn; at least one flip must
+		// surface as an error, and no flip may yield wrong bytes.
+		for p := off; p < off+n; p++ {
+			bad := append([]byte{}, arc...)
+			bad[p] ^= 0xFF
+			r, err := OpenBytes(bad)
+			if err != nil {
+				rejected = true
+				continue
+			}
+			got, err := r.Get(0)
+			if err != nil {
+				if !errors.Is(err, ErrCorruptArchive) {
+					t.Errorf("%s: flip at %d: error %v is not ErrCorruptArchive", alg, p, err)
+				}
+				rejected = true
+				continue
+			}
+			if !bytes.Equal(got, docs[0]) {
+				t.Fatalf("%s: flip at %d served wrong bytes without error", alg, p)
+			}
+		}
+		if !rejected {
+			t.Errorf("%s: no byte flip in the block was ever rejected", alg)
+		}
+	}
+}
+
+// TestGetBatch pins the batch contract across codecs and worker counts:
+// every index visited exactly once, correct bytes, out-of-range ids
+// reported individually, and documents sharing a block served from one
+// decode.
+func TestGetBatch(t *testing.T) {
+	docs := makeDocs(80, 43)
+	for _, alg := range []Algorithm{Zlib, LZR} {
+		arc := build(t, docs, Options{BlockSize: 2048, Algorithm: alg})
+		r, err := OpenBytes(arc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4, 16} {
+			// Mix of in-range (with duplicates sharing blocks) and bad ids.
+			ids := []int{5, 70, 5, 0, -1, 12, 13, 14, 800, 79, 6}
+			got := make(map[int]int) // index -> visits
+			r.GetBatch(ids, workers, func(i int, doc []byte, err error) {
+				got[i]++
+				id := ids[i]
+				if id < 0 || id >= len(docs) {
+					if err == nil {
+						t.Errorf("%s w=%d: bad id %d accepted", alg, workers, id)
+					}
+					return
+				}
+				if err != nil {
+					t.Errorf("%s w=%d: id %d: %v", alg, workers, id, err)
+					return
+				}
+				if !bytes.Equal(doc, docs[id]) {
+					t.Errorf("%s w=%d: id %d bytes mismatch", alg, workers, id)
+				}
+			})
+			for i := range ids {
+				if got[i] != 1 {
+					t.Fatalf("%s w=%d: index %d visited %d times", alg, workers, i, got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGetBatchSingleBlockDedupe: a batch of many documents from one block
+// must decode that block exactly once.
+func TestGetBatchSingleBlockDedupe(t *testing.T) {
+	docs := makeDocs(50, 47)
+	arc := build(t, docs, Options{BlockSize: 1 << 20}) // one big block
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBlocks() != 1 {
+		t.Fatalf("expected a single block, got %d", r.NumBlocks())
+	}
+	reads := &countingReaderAt{r: bytes.NewReader(arc)}
+	r.r = reads
+	var ids []int
+	for i := range docs {
+		ids = append(ids, i)
+	}
+	visited := 0
+	r.GetBatch(ids, 8, func(i int, doc []byte, err error) {
+		if err != nil || !bytes.Equal(doc, docs[ids[i]]) {
+			t.Errorf("id %d: %v", ids[i], err)
+		}
+		visited++
+	})
+	if visited != len(ids) {
+		t.Fatalf("visited %d of %d", visited, len(ids))
+	}
+	if reads.calls != 1 {
+		t.Errorf("batch over one block issued %d block reads, want 1", reads.calls)
+	}
+}
+
+type countingReaderAt struct {
+	r     *bytes.Reader
+	calls int
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	c.calls++
+	return c.r.ReadAt(p, off)
+}
+
+// TestGetAppendSteadyStateAllocs pins the pooled-buffer satellite: after
+// warmup, an uncached block read performs a small constant number of
+// allocations (no per-read decoder, compressed buffer, or block buffer).
+func TestGetAppendSteadyStateAllocs(t *testing.T) {
+	docs := makeDocs(40, 53)
+	arc := build(t, docs, Options{BlockSize: 4096})
+	r, err := OpenBytes(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 64<<10)
+	for i := range docs { // warm the pools
+		if buf, err = r.GetAppend(buf[:0], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		buf, _ = r.GetAppend(buf[:0], 7)
+	})
+	// The pre-pooling implementation allocated ~20+ objects per read
+	// (fresh zlib reader, window, compressed buf, ReadAll growth). Allow
+	// a small constant for sync.Pool internals.
+	if avg > 4 {
+		t.Errorf("uncached GetAppend allocates %.1f objects/read in steady state, want <= 4", avg)
+	}
+	t.Logf("uncached GetAppend steady state: %.1f allocs/read", avg)
 }

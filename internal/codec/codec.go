@@ -1,0 +1,305 @@
+// Package codec is the pluggable per-block compressor registry behind
+// the block backend (internal/blockstore). The paper's baseline fixes
+// one adaptive compressor per archive; production serving wants a ladder
+// of ratio-vs-decode-speed points, so the algorithm byte the blockstore
+// has always recorded in its header becomes a registry key here and
+// readers auto-detect whichever codec built the archive.
+//
+// Two design points matter for the hot read path:
+//
+//   - Decoders are stateful and pooled. zlib's decompressor allocates
+//     its window and Huffman tables on construction; constructing one
+//     per block read (what the blockstore originally did) dominates the
+//     allocation profile of an uncached read. Decoder + Reset reuse
+//     makes repeated block decodes allocation-free in steady state.
+//   - Decode takes the block's exact uncompressed size, derived by the
+//     caller from metadata it already validated (the blockstore's
+//     document locators). A stream that inflates to any other size is
+//     corrupt, and a hostile stream can never make a decoder allocate
+//     beyond that budget.
+package codec
+
+import (
+	"bytes"
+	"compress/zlib"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"rlz/internal/lz77"
+)
+
+// ErrCorruptBlock is wrapped by decoders when a block fails structural or
+// checksum validation.
+var ErrCorruptBlock = errors.New("codec: corrupt block")
+
+// Decoder holds one decompressor's reusable state. Decoders are NOT safe
+// for concurrent use; callers keep them in a pool (see Pool) and draw one
+// per decode.
+type Decoder interface {
+	// Decode appends the decompressed form of src to dst and returns the
+	// extended slice. rawLen is the block's exact uncompressed size per
+	// the caller's own trusted metadata: a stream that inflates to any
+	// other size is an error, and no more than rawLen bytes are ever
+	// materialized.
+	Decode(dst, src []byte, rawLen int) ([]byte, error)
+}
+
+// Codec is one block compression algorithm. Compress must be safe for
+// concurrent use (the parallel build pipeline shares one Codec);
+// per-decode state lives in the Decoder.
+type Codec interface {
+	// ID is the algorithm byte recorded in the archive header.
+	ID() byte
+	// Name is the CLI and stats name (rlz build -alg NAME).
+	Name() string
+	// Compress appends the compressed form of src to dst.
+	Compress(dst, src []byte) ([]byte, error)
+	// NewDecoder returns fresh decoder state for this codec.
+	NewDecoder() Decoder
+}
+
+var (
+	mu      sync.RWMutex
+	byID    = map[byte]Codec{}
+	byName  = map[string]Codec{}
+	ordered []Codec
+)
+
+// Register adds a codec to the registry. Built-in codecs register
+// themselves in this package's init; future codecs register from their
+// own package's init and every ByID/ByName caller picks them up.
+func Register(c Codec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := byID[c.ID()]; dup {
+		panic(fmt.Sprintf("codec: id %q registered twice", c.ID()))
+	}
+	if _, dup := byName[c.Name()]; dup {
+		panic(fmt.Sprintf("codec: name %q registered twice", c.Name()))
+	}
+	byID[c.ID()] = c
+	byName[c.Name()] = c
+	ordered = append(ordered, c)
+}
+
+// ByID resolves the algorithm byte an archive header records.
+func ByID(id byte) (Codec, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	c, ok := byID[id]
+	return c, ok
+}
+
+// ByName resolves a CLI codec name, or returns an error naming every
+// registered codec — the fail-fast path of rlz build -alg.
+func ByName(name string) (Codec, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	if c, ok := byName[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("codec: unknown algorithm %q (want %v)", name, namesLocked())
+}
+
+// Names lists the registered codec names in stable order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(ordered))
+	for _, c := range ordered {
+		out = append(out, c.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pool is a per-reader pool of one codec's decoders: Get draws reusable
+// decoder state, Put returns it. The zero value is unusable; construct
+// with NewPool.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns a decoder pool for c.
+func NewPool(c Codec) *Pool {
+	return &Pool{p: sync.Pool{New: func() any { return c.NewDecoder() }}}
+}
+
+// Get draws a decoder from the pool.
+func (p *Pool) Get() Decoder { return p.p.Get().(Decoder) }
+
+// Put returns a decoder to the pool.
+func (p *Pool) Put(d Decoder) { p.p.Put(d) }
+
+func init() {
+	Register(zlibCodec{level: zlib.BestCompression, id: 'z', name: "zlib"})
+	Register(zlibCodec{level: zlib.BestSpeed, id: 'f', name: "flate"})
+	Register(LZMA(lz77.Options{}))
+	Register(LZR(lz77.Options{}))
+}
+
+// zlibCodec covers both deflate tiers: "zlib" at BestCompression (the
+// paper's baseline) and "flate" at BestSpeed (the speed tier). Both use
+// zlib framing so every block carries an Adler-32 and corrupt blocks are
+// rejected rather than served.
+type zlibCodec struct {
+	level int
+	id    byte
+	name  string
+}
+
+func (c zlibCodec) ID() byte     { return c.id }
+func (c zlibCodec) Name() string { return c.name }
+
+func (c zlibCodec) Compress(dst, src []byte) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	zw, err := zlib.NewWriterLevel(buf, c.level)
+	if err != nil {
+		return dst, fmt.Errorf("codec: %w", err)
+	}
+	if _, err := zw.Write(src); err != nil {
+		return dst, fmt.Errorf("codec: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return dst, fmt.Errorf("codec: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (c zlibCodec) NewDecoder() Decoder { return &zlibDecoder{} }
+
+// zlibDecoder reuses one inflate state across decodes via zlib.Resetter —
+// the allocation-heavy part of a block read (window, Huffman tables) is
+// paid once per pooled decoder instead of once per block.
+type zlibDecoder struct {
+	br bytes.Reader
+	zr io.ReadCloser // also zlib.Resetter after first use
+}
+
+func (d *zlibDecoder) Decode(dst, src []byte, rawLen int) ([]byte, error) {
+	d.br.Reset(src)
+	if d.zr == nil {
+		zr, err := zlib.NewReader(&d.br)
+		if err != nil {
+			return dst, fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+		}
+		d.zr = zr
+	} else if err := d.zr.(zlib.Resetter).Reset(&d.br, nil); err != nil {
+		return dst, fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+	}
+	base := len(dst)
+	dst = grow(dst, rawLen)
+	if _, err := io.ReadFull(d.zr, dst[base:base+rawLen]); err != nil {
+		return dst[:base], fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+	}
+	// The stream must end exactly at rawLen. Draining the final zero-byte
+	// read also makes zlib verify the trailing Adler-32.
+	var one [1]byte
+	for {
+		n, err := d.zr.Read(one[:])
+		if n > 0 {
+			return dst[:base], fmt.Errorf("%w: inflates past its declared %d bytes", ErrCorruptBlock, rawLen)
+		}
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst[:base], fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+		}
+	}
+}
+
+// grow extends dst by n bytes, reallocating at most once.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	out := make([]byte, len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
+// lzmaCodec is the paper's lzma stand-in: the large-window LZ77 coder
+// with its semi-static Huffman entropy stage (internal/lz77).
+type lzmaCodec struct {
+	opt lz77.Options
+}
+
+// LZMA returns the lzma-substitute codec with the given LZ77 tuning.
+// Tuning affects Compress only; any instance decodes any stream.
+func LZMA(opt lz77.Options) Codec { return lzmaCodec{opt: opt} }
+
+func (c lzmaCodec) ID() byte     { return 'l' }
+func (c lzmaCodec) Name() string { return "lzma" }
+
+func (c lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
+	return lz77.Compress(dst, src, c.opt), nil
+}
+
+func (c lzmaCodec) NewDecoder() Decoder { return lzmaDecoder{} }
+
+type lzmaDecoder struct{}
+
+func (lzmaDecoder) Decode(dst, src []byte, rawLen int) ([]byte, error) {
+	// The stream's own length header bounds Decompress's output;
+	// checking it against the budget up front prevents a declared bomb
+	// from ever being allocated.
+	n, err := lz77.DeclaredLen(src)
+	if err != nil {
+		return dst, fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+	}
+	if n != rawLen {
+		return dst, fmt.Errorf("%w: declares %d uncompressed bytes, metadata says %d", ErrCorruptBlock, n, rawLen)
+	}
+	base := len(dst)
+	out, err := lz77.Decompress(dst, src)
+	if err != nil {
+		return out[:base], fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+	}
+	return out, nil
+}
+
+// lzrCodec is the no-entropy-stage LZ variant: the same parse as the
+// lzma stand-in with byte-aligned token coding instead of Huffman — the
+// fastest decode in the ladder.
+type lzrCodec struct {
+	opt lz77.Options
+}
+
+// LZR returns the no-entropy-stage LZ codec with the given LZ77 tuning.
+// Tuning affects Compress only; any instance decodes any stream.
+func LZR(opt lz77.Options) Codec { return lzrCodec{opt: opt} }
+
+func (c lzrCodec) ID() byte     { return 'r' }
+func (c lzrCodec) Name() string { return "lzr" }
+
+func (c lzrCodec) Compress(dst, src []byte) ([]byte, error) {
+	return lz77.CompressRaw(dst, src, c.opt), nil
+}
+
+func (c lzrCodec) NewDecoder() Decoder { return lzrDecoder{} }
+
+type lzrDecoder struct{}
+
+func (lzrDecoder) Decode(dst, src []byte, rawLen int) ([]byte, error) {
+	n, err := lz77.DeclaredLenRaw(src)
+	if err != nil {
+		return dst, fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+	}
+	if n != rawLen {
+		return dst, fmt.Errorf("%w: declares %d uncompressed bytes, metadata says %d", ErrCorruptBlock, n, rawLen)
+	}
+	base := len(dst)
+	out, err := lz77.DecompressRaw(dst, src)
+	if err != nil {
+		return out[:base], fmt.Errorf("%w: %v", ErrCorruptBlock, err)
+	}
+	return out, nil
+}

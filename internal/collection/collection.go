@@ -560,6 +560,115 @@ func (c *Collection) Get(id int) ([]byte, error) {
 	return c.GetAppend(nil, id)
 }
 
+// View serves document id zero-copy when its segment is memory-mapped,
+// implementing archive.Viewer. fn runs under the view pin (and, for the
+// open segment, under a mapping reference), so a concurrent compaction,
+// seal or close cannot unmap the bytes mid-callback; they become invalid
+// the moment fn returns. ok=false means this document has no zero-copy
+// path (unmapped platform, compressed segment, beyond the open segment's
+// mapped prefix) — fall back to GetAppend.
+func (c *Collection) View(id int, fn func(doc []byte) error) (bool, error) {
+	v, release := c.acquireView()
+	defer release()
+	if _, dead := v.tomb[id]; dead {
+		return true, fmt.Errorf("collection: document %d: %w", id, ErrDeleted)
+	}
+	if id >= 0 && id >= v.sealed() {
+		if v.open != nil {
+			local := id - v.sealed()
+			if local < v.open.count() {
+				return v.open.view(local, fn)
+			}
+		}
+		return true, fmt.Errorf("%w: id %d of %d", docmap.ErrNoSuchDoc, id, c.numDocs(v))
+	}
+	s, local, err := v.route(id)
+	if err != nil {
+		return true, fmt.Errorf("%w of %d", err, c.numDocs(v))
+	}
+	if vw, ok := archive.AsViewer(v.segs[s]); ok {
+		return vw.View(local, fn)
+	}
+	return false, nil
+}
+
+// GetBatch retrieves every id, routing contiguous work per segment and
+// delegating to segments that batch natively (the block backend decodes
+// each distinct block once), implementing archive.BatchReader. visit is
+// called exactly once per index of ids, from a single goroutine, in
+// segment order; doc is only valid during the call.
+func (c *Collection) GetBatch(ids []int, workers int, visit func(i int, doc []byte, err error)) {
+	if len(ids) == 0 {
+		return
+	}
+	v, release := c.acquireView()
+	defer release()
+	// Partition: per-segment sub-batches, everything else (tombstones,
+	// open segment, out of range) answered inline.
+	type sub struct {
+		idx    []int // indices into ids
+		locals []int
+	}
+	subs := make(map[int]*sub)
+	var buf []byte
+	for i, id := range ids {
+		if _, dead := v.tomb[id]; dead {
+			visit(i, nil, fmt.Errorf("collection: document %d: %w", id, ErrDeleted))
+			continue
+		}
+		if id >= 0 && id >= v.sealed() {
+			if v.open != nil {
+				local := id - v.sealed()
+				if local < v.open.count() {
+					var err error
+					buf, err = v.open.get(buf[:0], local)
+					if err != nil {
+						visit(i, nil, err)
+					} else {
+						visit(i, buf, nil)
+					}
+					continue
+				}
+			}
+			visit(i, nil, fmt.Errorf("%w: id %d of %d", docmap.ErrNoSuchDoc, id, c.numDocs(v)))
+			continue
+		}
+		s, local, err := v.route(id)
+		if err != nil {
+			visit(i, nil, fmt.Errorf("%w of %d", err, c.numDocs(v)))
+			continue
+		}
+		sb := subs[s]
+		if sb == nil {
+			sb = &sub{}
+			subs[s] = sb
+		}
+		sb.idx = append(sb.idx, i)
+		sb.locals = append(sb.locals, local)
+	}
+	for s := 0; s < len(v.segs); s++ {
+		sb := subs[s]
+		if sb == nil {
+			continue
+		}
+		if br, ok := archive.AsBatchReader(v.segs[s]); ok {
+			br.GetBatch(sb.locals, workers, func(j int, doc []byte, err error) {
+				visit(sb.idx[j], doc, err)
+			})
+			continue
+		}
+		for j, local := range sb.locals {
+			var err error
+			buf, err = v.segs[s].GetAppend(buf[:0], local)
+			if err != nil {
+				visit(sb.idx[j], nil, err)
+			} else {
+				visit(sb.idx[j], buf, nil)
+			}
+		}
+	}
+}
+
 // Extent returns the extent a Get for id physically reads, within the
 // owning segment's file (a collection has no single byte address space).
 func (c *Collection) Extent(id int) (off, n int64, err error) {

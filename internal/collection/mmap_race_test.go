@@ -1,0 +1,158 @@
+package collection
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rlz/internal/mmapio"
+)
+
+// raceDoc builds the deterministic document used by the mapping race
+// tests, large enough that a stale pointer past an unmap would fault.
+func raceDoc(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("<doc %04d:payload>", i)), 64)
+}
+
+// TestViewRacesCompactGCClose hammers Get/View/GetBatch from several
+// goroutines while the writer appends (growing the open segment past
+// remap boundaries), compacts, garbage-collects old generations and
+// finally closes. Run under -race this checks the reference chain —
+// view pin plus open-segment mapping ref — keeps zero-copy bytes alive
+// for the duration of every callback across hot-swaps and unmaps.
+func TestViewRacesCompactGCClose(t *testing.T) {
+	const seed = 128
+	docs := make([][]byte, seed)
+	for i := range docs {
+		docs[i] = raceDoc(i)
+	}
+	c, _ := newCollection(t, docs)
+
+	// Deterministic warmup: with the docs still in the open segment,
+	// zero-copy views must succeed wherever the platform supports maps.
+	var viewHits atomic.Int64
+	for id := 0; id < seed; id++ {
+		ok, err := c.View(id, func(b []byte) error {
+			if !bytes.Equal(b, raceDoc(id)) {
+				return fmt.Errorf("doc %d: got %d bytes, want %d", id, len(b), len(raceDoc(id)))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("warmup View(%d): %v", id, err)
+		}
+		if ok {
+			viewHits.Add(1)
+		}
+	}
+	if mmapio.Supported() && viewHits.Load() == 0 {
+		t.Fatalf("no zero-copy views on a platform with mmap support")
+	}
+
+	var closing atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := rng.Intn(seed)
+				want := raceDoc(id)
+				switch rng.Intn(3) {
+				case 0:
+					_, err := c.View(id, func(b []byte) error {
+						if !bytes.Equal(b, want) {
+							return fmt.Errorf("got %d bytes, want %d", len(b), len(want))
+						}
+						return nil
+					})
+					if err != nil && !closing.Load() {
+						t.Errorf("View(%d): %v", id, err)
+						return
+					}
+				case 1:
+					got, err := c.Get(id)
+					if err != nil {
+						if !closing.Load() {
+							t.Errorf("Get(%d): %v", id, err)
+						}
+						return
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("Get(%d): got %d bytes, want %d", id, len(got), len(want))
+						return
+					}
+				default:
+					ids := make([]int, 8)
+					for j := range ids {
+						ids[j] = rng.Intn(seed)
+					}
+					c.GetBatch(ids, 4, func(i int, b []byte, err error) {
+						if err != nil {
+							if !closing.Load() {
+								t.Errorf("GetBatch(%d): %v", ids[i], err)
+							}
+							return
+						}
+						if !bytes.Equal(b, raceDoc(ids[i])) {
+							t.Errorf("GetBatch(%d): got %d bytes", ids[i], len(b))
+						}
+					})
+				}
+			}
+		}(g)
+	}
+
+	// Churn: each round grows the open segment across several remap
+	// doublings, then compacts it into a sealed segment and GCs the
+	// orphans. A fixed dictionary keeps compaction cheap under -race.
+	dict := bytes.Repeat([]byte("<doc 0000:payload>"), 256)
+	for round := 0; round < 2; round++ {
+		big := bytes.Repeat([]byte{byte('a' + round)}, 16<<10)
+		for i := 0; i < 32; i++ {
+			if _, err := c.Append(big); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if _, err := c.Compact(CompactOptions{Dict: dict}); err != nil {
+			t.Fatalf("Compact round %d: %v", round, err)
+		}
+		if _, err := c.GC(); err != nil {
+			t.Fatalf("GC round %d: %v", round, err)
+		}
+	}
+	closing.Store(true)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestViewAfterCloseFails pins down the documented post-Close behavior:
+// zero-copy reads degrade to errors or clean fallbacks, never to a
+// dangling mapping.
+func TestViewAfterCloseFails(t *testing.T) {
+	docs := make([][]byte, 8)
+	for i := range docs {
+		docs[i] = raceDoc(i)
+	}
+	c, _ := newCollection(t, docs)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ok, err := c.View(3, func(b []byte) error { return nil })
+	if ok && err == nil {
+		t.Fatalf("View after Close: served zero-copy bytes from a closed collection")
+	}
+}

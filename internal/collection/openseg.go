@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"rlz/internal/coding"
 	"rlz/internal/docmap"
+	"rlz/internal/mmapio"
 	"rlz/internal/rawstore"
 )
 
@@ -48,6 +50,97 @@ type openSegment struct {
 
 	mu      sync.RWMutex
 	offsets []int64 // len = count+1; offsets[0] == rawstore.HeaderSize
+
+	// mapping is the refcounted memory mapping of the data file's stable
+	// prefix, for zero-copy views. A mapping's length is fixed at map
+	// time, so the writer remaps as the file grows (see maybeRemap);
+	// documents past the mapped end fall back to pread. nil on platforms
+	// without mmap or when mapping failed — reads just use the file.
+	mapping atomic.Pointer[segMapping]
+}
+
+// remapStep is how far the data file must grow past the mapped end
+// before the writer cuts a fresh mapping. Remapping is cheap but not
+// free; 1 MiB bounds it to a few dozen remaps per typical open segment.
+const remapStep = 1 << 20
+
+// segMapping is one refcounted generation of the open segment's mapping:
+// 1 reference for being installed plus 1 per reader inside a view; the
+// reference that drops the count to 0 unmaps. The CAS-guarded tryRef
+// means a retired, draining mapping cannot be resurrected — the same
+// discipline as the collection's view refs.
+type segMapping struct {
+	m    *mmapio.Mapping
+	refs atomic.Int64
+}
+
+func (sm *segMapping) tryRef() bool {
+	for {
+		n := sm.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if sm.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (sm *segMapping) unref() {
+	if sm.refs.Add(-1) == 0 {
+		sm.m.Close()
+	}
+}
+
+// maybeRemap (re)maps the data file when unmapped or grown remapStep
+// past the mapped end. Called from the single writer (collection write
+// lock held) or at construction; concurrent readers keep using the old
+// mapping until their refs drain. Mapping failures are silently
+// tolerated — reads fall back to pread.
+func (s *openSegment) maybeRemap() {
+	if !mmapio.Supported() {
+		return
+	}
+	end := s.size()
+	cur := s.mapping.Load()
+	// Remap when the file doubles (so small, fresh segments become
+	// viewable after a handful of appends) or grows a full step past
+	// the mapped end (bounding remap frequency once the segment is big).
+	if cur != nil && end-cur.m.Len() < remapStep && end < 2*cur.m.Len() {
+		return
+	}
+	m, err := mmapio.Map(s.f, end)
+	if err != nil {
+		return
+	}
+	sm := &segMapping{m: m}
+	sm.refs.Store(1)
+	s.mapping.Store(sm)
+	if cur != nil {
+		cur.unref()
+	}
+}
+
+// view serves segment-local document id as a zero-copy slice of the
+// mapping, calling fn under a mapping reference so a concurrent remap
+// or close cannot unmap under it. ok=false (document beyond the mapped
+// prefix, no mapping, draining mapping, or any error) means the caller
+// should fall back to get.
+func (s *openSegment) view(local int, fn func(doc []byte) error) (bool, error) {
+	sm := s.mapping.Load()
+	if sm == nil || !sm.tryRef() {
+		return false, nil
+	}
+	defer sm.unref()
+	off, n, err := s.extent(local)
+	if err != nil || off+n > sm.m.Len() {
+		return false, nil
+	}
+	doc, err := sm.m.Slice(off, n)
+	if err != nil {
+		return false, nil
+	}
+	return true, fn(doc)
 }
 
 // segFileName returns the conventional name of segment file seq.
@@ -84,14 +177,16 @@ func createOpenSegment(dir, name string, syncAppends bool) (*openSegment, error)
 		lens.Close()
 		return nil, err
 	}
-	return &openSegment{
+	s := &openSegment{
 		name:    name,
 		f:       f,
 		lens:    lens,
 		w:       w,
 		sync:    syncAppends,
 		offsets: []int64{rawstore.HeaderSize},
-	}, nil
+	}
+	s.maybeRemap()
+	return s, nil
 }
 
 // recoverOpenSegment reopens the open segment named by the manifest,
@@ -188,14 +283,16 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 		f.Close()
 		return nil, err
 	}
-	return &openSegment{
+	s := &openSegment{
 		name:    name,
 		f:       f,
 		lens:    lensf,
 		w:       rawstore.ResumeWriter(f, lens),
 		sync:    syncAppends,
 		offsets: offsets,
-	}, nil
+	}
+	s.maybeRemap()
+	return s, nil
 }
 
 // rebuildEmpty resets a damaged open segment to its just-created state:
@@ -245,6 +342,8 @@ func (s *openSegment) append(doc []byte) (int, error) {
 	s.offsets = append(s.offsets, s.offsets[len(s.offsets)-1]+int64(len(doc)))
 	local := len(s.offsets) - 2
 	s.mu.Unlock()
+	// Extend the zero-copy window once enough new bytes accumulated.
+	s.maybeRemap()
 	return local, nil
 }
 
@@ -321,6 +420,11 @@ func (s *openSegment) syncFiles() error {
 // become invalid — callers retire it only after no view references it,
 // or at Collection.Close).
 func (s *openSegment) closeFiles() error {
+	// Retire the mapping: drop the installed reference; in-flight views
+	// hold their own and the last one out unmaps.
+	if sm := s.mapping.Swap(nil); sm != nil {
+		sm.unref()
+	}
 	err := s.f.Close()
 	if s.lens != nil {
 		if cerr := s.lens.Close(); err == nil {

@@ -50,3 +50,49 @@ func FuzzCompressRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecompressRaw: the no-entropy variant's decoder must never panic on
+// arbitrary bytes, and accepted inputs must re-encode consistently.
+func FuzzDecompressRaw(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{magic0, rawMagic1, rawVersion, 0})
+	f.Add(CompressRaw(nil, []byte("seed document with some repeated repeated text"), Options{}))
+	f.Add(CompressRaw(nil, bytes.Repeat([]byte("ab"), 300), Options{Greedy: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressRaw(nil, data)
+		if err != nil {
+			return
+		}
+		again, err := DecompressRaw(nil, CompressRaw(nil, out, Options{}))
+		if err != nil || !bytes.Equal(again, out) {
+			t.Fatalf("re-encode of accepted raw stream failed: %v", err)
+		}
+	})
+}
+
+// FuzzCompressRawRoundTrip checks the raw variant's fundamental identity.
+func FuzzCompressRawRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), 16)
+	f.Add(bytes.Repeat([]byte{0}, 100), 4)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, window int) {
+		if window < 0 || window > 1<<22 {
+			window = 0
+		}
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		comp := CompressRaw(nil, data, Options{WindowSize: window})
+		n, err := DeclaredLenRaw(comp)
+		if err != nil || n != len(data) {
+			t.Fatalf("DeclaredLenRaw = %d, %v; want %d", n, err, len(data))
+		}
+		out, err := DecompressRaw(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress of own raw output: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("raw round trip mismatch: %d vs %d bytes", len(out), len(data))
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package lz77
+
+import (
+	"fmt"
+	"hash/adler32"
+
+	"rlz/internal/coding"
+)
+
+// The "raw" variant is the same LZ77 parse with the entropy stage removed:
+// tokens are emitted byte-aligned with uvarint fields instead of being
+// Huffman-coded. Ratio suffers (no entropy coding of literals, whole-byte
+// field alignment) but decoding degenerates to memcpy-shaped literal and
+// match copies with no bit reader and no Huffman tables — the speed tier
+// of the block-backend codec ladder.
+//
+// Format:
+//
+//	header   'L' 'R' version, uvarint uncompressed length
+//	tokens   repeat { uvarint litCount, litCount literal bytes,
+//	                  [uvarint (matchLen - MinMatch), uvarint (dist - 1)] }
+//	         the trailing match fields are absent when the output is
+//	         complete after the literals
+//	footer   Adler-32 of the uncompressed data (4 bytes)
+const (
+	rawMagic1  = 'R'
+	rawVersion = 1
+)
+
+// CompressRaw appends the no-entropy-stage compressed form of src to dst
+// and returns the extended slice. Decompress it with DecompressRaw.
+func CompressRaw(dst, src []byte, opt Options) []byte {
+	dst = append(dst, magic0, rawMagic1, rawVersion)
+	dst = coding.PutUvarint64(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	tokens := parse(src, opt)
+	pos := 0    // position in src of the next unemitted byte
+	litRun := 0 // literals accumulated since the last match
+	for _, t := range tokens {
+		if t.length == 0 {
+			litRun++
+			continue
+		}
+		dst = coding.PutUvarint32(dst, uint32(litRun))
+		dst = append(dst, src[pos:pos+litRun]...)
+		pos += litRun
+		litRun = 0
+		dst = coding.PutUvarint32(dst, uint32(t.length-MinMatch))
+		dst = coding.PutUvarint32(dst, uint32(t.dist-1))
+		pos += int(t.length)
+	}
+	if litRun > 0 {
+		dst = coding.PutUvarint32(dst, uint32(litRun))
+		dst = append(dst, src[pos:pos+litRun]...)
+	}
+	return coding.PutU32(dst, adler32.Checksum(src))
+}
+
+// DeclaredLenRaw parses a raw-variant stream's header and returns the
+// uncompressed length it declares, without decompressing anything — the
+// same pre-allocation guard DeclaredLen provides for the coded format.
+func DeclaredLenRaw(src []byte) (int, error) {
+	if len(src) < 3 || src[0] != magic0 || src[1] != rawMagic1 {
+		return 0, fmt.Errorf("%w: bad raw-variant magic", ErrCorrupt)
+	}
+	if src[2] != rawVersion {
+		return 0, fmt.Errorf("%w: unsupported raw-variant version %d", ErrCorrupt, src[2])
+	}
+	n64, _, err := coding.Uvarint64(src[3:])
+	if err != nil {
+		return 0, fmt.Errorf("%w: length header: %v", ErrCorrupt, err)
+	}
+	if n64 > 1<<40 {
+		return 0, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n64)
+	}
+	return int(n64), nil
+}
+
+// DecompressRaw appends the decompressed form of a CompressRaw stream to
+// dst. Like Decompress it verifies the trailing checksum and every match
+// distance, so corrupt or truncated streams return an error, never bad
+// data.
+func DecompressRaw(dst, src []byte) ([]byte, error) {
+	n, err := DeclaredLenRaw(src)
+	if err != nil {
+		return dst, err
+	}
+	_, k, _ := coding.Uvarint64(src[3:])
+	src = src[3+k:]
+	if n == 0 {
+		return dst, nil
+	}
+	if len(src) < 4 {
+		return dst, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	sum, _ := coding.U32(src[len(src)-4:])
+	src = src[:len(src)-4]
+
+	base := len(dst)
+	for len(dst)-base < n {
+		litCount, k, err := coding.Uvarint32(src)
+		if err != nil {
+			return dst, fmt.Errorf("%w: literal count: %v", ErrCorrupt, err)
+		}
+		src = src[k:]
+		if int(litCount) > n-(len(dst)-base) {
+			return dst, fmt.Errorf("%w: literal run overruns declared length", ErrCorrupt)
+		}
+		if int(litCount) > len(src) {
+			return dst, fmt.Errorf("%w: truncated literal run", ErrCorrupt)
+		}
+		dst = append(dst, src[:litCount]...)
+		src = src[litCount:]
+		if len(dst)-base == n {
+			break
+		}
+		lv, k, err := coding.Uvarint32(src)
+		if err != nil {
+			return dst, fmt.Errorf("%w: match length: %v", ErrCorrupt, err)
+		}
+		src = src[k:]
+		dv, k, err := coding.Uvarint32(src)
+		if err != nil {
+			return dst, fmt.Errorf("%w: match distance: %v", ErrCorrupt, err)
+		}
+		src = src[k:]
+		length := int(lv) + MinMatch
+		dist := int(dv) + 1
+		if dist > len(dst)-base {
+			return dst, fmt.Errorf("%w: distance %d exceeds output %d", ErrCorrupt, dist, len(dst)-base)
+		}
+		if length > n-(len(dst)-base) {
+			return dst, fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
+		}
+		start := len(dst) - dist
+		if dist >= length {
+			// Non-overlapping: one append of an existing region.
+			dst = append(dst, dst[start:start+length]...)
+		} else {
+			// Overlapping (RLE-style) copies proceed byte-wise: the match
+			// references bytes this very copy produces.
+			for i := 0; i < length; i++ {
+				dst = append(dst, dst[start+i])
+			}
+		}
+	}
+	if len(src) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes after token stream", ErrCorrupt, len(src))
+	}
+	if adler32.Checksum(dst[base:]) != sum {
+		return dst, ErrChecksum
+	}
+	return dst, nil
+}

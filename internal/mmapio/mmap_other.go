@@ -1,0 +1,13 @@
+//go:build !unix
+
+package mmapio
+
+import "os"
+
+const supported = false
+
+func mapFile(f *os.File, size int64) (*Mapping, error) {
+	return nil, ErrUnsupported
+}
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const supported = true
+
+func mapFile(f *os.File, size int64) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s (%d bytes): %w", f.Name(), size, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error {
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("mmapio: munmap: %w", err)
+	}
+	return nil
+}

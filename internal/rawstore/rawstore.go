@@ -229,6 +229,34 @@ func (r *Reader) Get(id int) ([]byte, error) {
 	return r.GetAppend(nil, id)
 }
 
+// slicer is the zero-copy capability of a memory-mapped backing store
+// (internal/mmapio.Mapping satisfies it); duck-typed so this package
+// stays independent of how the caller produced its ReaderAt.
+type slicer interface {
+	Slice(off, n int64) ([]byte, error)
+}
+
+// View serves document id as a sub-slice of the backing memory mapping —
+// no read, no copy, no allocation — implementing archive.Viewer. ok is
+// false when the archive was not opened over a mapping (fall back to
+// GetAppend). doc is a slice of the mapping: it is valid only during fn
+// and only for reading; fn copies whatever must outlive the call.
+func (r *Reader) View(id int, fn func(doc []byte) error) (bool, error) {
+	s, ok := r.r.(slicer)
+	if !ok {
+		return false, nil
+	}
+	off, n, err := r.Extent(id)
+	if err != nil {
+		return true, err
+	}
+	doc, err := s.Slice(off, n)
+	if err != nil {
+		return true, fmt.Errorf("rawstore: document %d: %w", id, err)
+	}
+	return true, fn(doc)
+}
+
 // Close releases the underlying file if the Reader owns one.
 func (r *Reader) Close() error {
 	if r.closer != nil {

@@ -311,12 +311,52 @@ func (s *Server) Get(id int) ([]byte, error) {
 	return s.GetAppend(nil, id)
 }
 
-// Do retrieves document id into a pooled scratch buffer and passes it to
-// fn. The buffer returns to the pool when fn returns, so fn must not
-// retain doc or any slice of it — copy what must outlive the call. This
-// is the per-request path HTTP handlers use to serve documents without a
-// per-request allocation.
+// Do retrieves document id and passes its bytes to fn. When the backend
+// serves the document zero-copy (archive.Viewer — a memory-mapped raw
+// archive or collection segment), doc is a slice of the mapping: no
+// read, no copy, no allocation, and the document cache is bypassed
+// entirely (caching would add a copy to a read that costs none).
+// Otherwise the document goes through the normal cached GetAppend path
+// into a pooled scratch buffer. Either way doc is only valid during fn —
+// copy what must outlive the call. This is the per-request path HTTP
+// handlers use to serve documents without a per-request allocation.
 func (s *Server) Do(id int, fn func(doc []byte) error) error {
+	e := s.acquire()
+	if v, ok := archive.AsViewer(e.h.r); ok {
+		start := time.Now()
+		var n int
+		called := false
+		handled, err := v.View(id, func(doc []byte) error {
+			called = true
+			n = len(doc)
+			return fn(doc)
+		})
+		if handled {
+			// fn ran under the handle reference, so a Swap cannot close
+			// the reader (and unmap its file) mid-callback.
+			e.h.unref()
+			s.requests.Add(1)
+			if !called {
+				// The backend failed before producing the document.
+				s.errors.Add(1)
+				return err
+			}
+			// The document was served; an error from fn itself is the
+			// caller's, not the backend's. Zero-copy reads bypass the
+			// cache but still count as misses so hits+misses keeps
+			// covering every successfully served document.
+			if s.cache != nil {
+				if _, cacheable := cacheKey(e.epoch, id); cacheable {
+					s.misses.Add(1)
+				}
+			}
+			s.decoded.Add(int64(n))
+			s.served.Add(int64(n))
+			s.lat.observe(time.Since(start))
+			return err
+		}
+	}
+	e.h.unref()
 	bufp := s.pool.Get().(*[]byte)
 	buf, err := s.GetAppend((*bufp)[:0], id)
 	if err == nil {
@@ -334,16 +374,78 @@ type Result struct {
 	Err  error
 }
 
-// GetBatch retrieves every id, fanning the fetches across at most
-// Options.Workers goroutines. The returned slice always has len(ids)
-// results in request order; failures (out-of-range ids, decode errors)
-// are reported per document in Result.Err, so one bad id does not void
-// the rest of the batch.
+// GetBatch retrieves every id. On backends that batch natively
+// (archive.BatchReader — the block backend, live collections) the cache
+// is consulted first and the misses go down in ONE backend batch, which
+// dedupes documents sharing a compressed block and decodes each distinct
+// block at most once across at most Options.Workers concurrent workers.
+// Other backends fan individual fetches across the worker pool as
+// before. The returned slice always has len(ids) results in request
+// order; failures (out-of-range ids, decode errors) are reported per
+// document in Result.Err, so one bad id does not void the rest of the
+// batch.
 func (s *Server) GetBatch(ids []int) []Result {
 	out := make([]Result, len(ids))
 	if len(ids) == 0 {
 		return out
 	}
+	e := s.acquire()
+	br, ok := archive.AsBatchReader(e.h.r)
+	if !ok {
+		e.h.unref()
+		return s.getBatchFanout(ids, out)
+	}
+	defer e.h.unref()
+	start := time.Now()
+	s.requests.Add(int64(len(ids)))
+	// Resolve cache hits up front; only misses reach the backend.
+	miss := make([]int, 0, len(ids))    // positions in ids
+	missIds := make([]int, 0, len(ids)) // parallel backend ids
+	for i, id := range ids {
+		out[i] = Result{ID: id}
+		if s.cache != nil {
+			if key, cacheable := cacheKey(e.epoch, id); cacheable {
+				if doc := s.cache.Get(key); doc != nil {
+					out[i].Data = append([]byte(nil), doc...)
+					s.hits.Add(1)
+					s.served.Add(int64(len(doc)))
+					continue
+				}
+			}
+		}
+		miss = append(miss, i)
+		missIds = append(missIds, id)
+	}
+	if len(miss) > 0 {
+		br.GetBatch(missIds, s.workers, func(j int, doc []byte, err error) {
+			i := miss[j]
+			if err != nil {
+				out[i].Err = err
+				s.errors.Add(1)
+				return
+			}
+			out[i].Data = append([]byte(nil), doc...)
+			if s.cache != nil {
+				if key, cacheable := cacheKey(e.epoch, out[i].ID); cacheable {
+					s.misses.Add(1)
+					s.cache.Put(key, out[i].Data)
+				}
+			}
+			s.decoded.Add(int64(len(doc)))
+			s.served.Add(int64(len(doc)))
+		})
+	}
+	// One latency observation for the whole batch: the batch is the
+	// request unit at this layer (rlzd's /docs endpoint), and per-id
+	// shares of a concurrent decode are not meaningful.
+	s.lat.observe(time.Since(start))
+	return out
+}
+
+// getBatchFanout is the per-document batch path for backends without
+// native batching: fetches fan across at most Options.Workers
+// goroutines, each through the normal cached Get path.
+func (s *Server) getBatchFanout(ids []int, out []Result) []Result {
 	workers := s.workers
 	if workers > len(ids) {
 		workers = len(ids)

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"rlz/internal/archive"
+	"rlz/internal/blockstore"
+	"rlz/internal/corpus"
+	"rlz/internal/serve"
+	"rlz/internal/workload"
+)
+
+// TestBlockUncachedThroughputFloor is the CI bench smoke for the block
+// backend's uncached hot path (the zlib cliff of BENCH_serve.json): it
+// replays the standard closed-loop zipfian workload through an uncached
+// serve.Server and fails when throughput regresses more than 20% below
+// the checked-in floor. The floors are deliberately set well under the
+// numbers recorded in BENCH_hotpath.json so hardware variance across CI
+// runners does not flake the guard while order-of-magnitude decode-path
+// regressions still trip it. Re-baseline them only for an intentional
+// trade (and say so in the commit); skip by default so local `go test`
+// stays timing-independent — CI sets RLZ_BENCH_SMOKE=1.
+func TestBlockUncachedThroughputFloor(t *testing.T) {
+	if os.Getenv("RLZ_BENCH_SMOKE") == "" {
+		t.Skip("set RLZ_BENCH_SMOKE=1 to run the throughput floor guard")
+	}
+	const (
+		corpusBytes = 8 << 20
+		requests    = 1000
+		workers     = 8
+		seed        = 42
+	)
+	cases := []struct {
+		name     string
+		opts     archive.Options
+		floorMBs float64 // reference throughput; fail below 80% of it
+	}{
+		// Paper-fidelity entry: zlib at the evaluation's 256 KiB blocks.
+		{"zlib-block", archive.Options{Backend: archive.Block, BlockSize: 256 << 10}, 10},
+		// Speed-tier entry: the no-entropy LZ codec at serving-tuned 64 KiB.
+		{"lzr-block", archive.Options{Backend: archive.Block, BlockSize: 64 << 10, Algorithm: blockstore.LZR}, 60},
+	}
+	coll := corpus.Generate(corpus.Gov, corpusBytes, seed)
+	bodies := make([][]byte, coll.Len())
+	for i, d := range coll.Docs {
+		bodies[i] = d.Body
+	}
+	ids := workload.QueryLog(coll.Len(), requests, seed)
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if _, err := archive.Build(&buf, archive.FromBodies(bodies), c.opts); err != nil {
+			t.Fatalf("%s: build: %v", c.name, err)
+		}
+		r, err := archive.OpenBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: open: %v", c.name, err)
+		}
+		srv := serve.New(r, serve.Options{CacheDocs: 0, Workers: workers})
+		best := 0.0
+		for run := 0; run < 3; run++ {
+			res := workload.Run(srv, ids, workers)
+			if res.Errors > 0 {
+				t.Fatalf("%s: %d errors in load run", c.name, res.Errors)
+			}
+			if mbs := float64(res.Bytes) / res.Elapsed.Seconds() / 1e6; mbs > best {
+				best = mbs
+			}
+		}
+		if best < c.floorMBs*0.8 {
+			t.Errorf("%s uncached throughput %.1f MB/s is >20%% below the checked-in floor %.1f MB/s (best of 3 runs; see BENCH_hotpath.json)", c.name, best, c.floorMBs)
+		} else {
+			t.Logf("%s uncached throughput %.1f MB/s (floor %.1f MB/s)", c.name, best, c.floorMBs)
+		}
+		r.Close()
+	}
+}
