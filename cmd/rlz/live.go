@@ -52,7 +52,7 @@ func cmdAppend(args []string) error {
 	}
 	defer func() {
 		if c, ok := src.(io.Closer); ok {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 

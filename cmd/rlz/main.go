@@ -171,11 +171,9 @@ func cmdBuild(args []string) error {
 			return err
 		}
 		defer func() {
-			runtime.GC() // settle the heap so the profile shows retained memory
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "rlz: writing heap profile:", err)
+			if err := dumpHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rlz: heap profile:", err)
 			}
-			f.Close()
 		}()
 	}
 
@@ -283,7 +281,7 @@ func cmdBuild(args []string) error {
 			return err
 		}
 		if res.Docs == 0 {
-			os.Remove(*out)
+			_ = os.Remove(*out)
 			return fmt.Errorf("build: no input documents")
 		}
 		st, err := os.Stat(*out)
@@ -302,6 +300,22 @@ func cmdBuild(args []string) error {
 		fmt.Printf(", %d shards", *shards)
 	}
 	fmt.Println()
+	return nil
+}
+
+// dumpHeapProfile settles the heap, writes the profile to f, and closes
+// it. The Close error is part of the result: the final flush is where a
+// full disk surfaces, and a silently truncated profile parses as valid
+// right up until pprof rejects it.
+func dumpHeapProfile(f *os.File) error {
+	runtime.GC() // settle the heap so the profile shows retained memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing %s: %w", f.Name(), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", f.Name(), err)
+	}
 	return nil
 }
 

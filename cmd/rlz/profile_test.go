@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDumpHeapProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpHeapProfile(f); err != nil {
+		t.Fatalf("dumpHeapProfile: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}
+
+// A profile that cannot be flushed must be reported, not silently
+// dropped: before the fix the deferred writer discarded f.Close()'s
+// error, so an ENOSPC truncation looked like a successful run.
+func TestDumpHeapProfileReportsWriteFailure(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpHeapProfile(f); err == nil {
+		t.Fatal("dumpHeapProfile on a closed file reported success")
+	}
+}

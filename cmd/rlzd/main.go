@@ -76,7 +76,7 @@ func main() {
 	col, live := collection.FromReader(r)
 	if live && *syncAppends {
 		// archive.Open used default options; reopen with durability on.
-		r.Close()
+		_ = r.Close()
 		if col, err = collection.Open(*arc, collection.Options{SyncAppends: true}); err != nil {
 			log.Fatalf("rlzd: %v", err)
 		}

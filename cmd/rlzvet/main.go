@@ -1,0 +1,251 @@
+// Command rlzvet runs the repository's invariant analyzers (refpair,
+// poolescape, zerocopy, lockguard, hotalloc, errclose) over Go
+// packages. It works two ways:
+//
+//	rlzvet ./...                      standalone, like a focused vet
+//	go vet -vettool=$(which rlzvet) ./...   as the go vet backend
+//
+// In vettool mode it speaks the go vet unit-checker protocol: the go
+// command hands it one package at a time as a JSON config file,
+// annotation facts flow between packages as gob files next to the
+// build cache, and results are cached like any other vet run.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rlz/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			printVersion()
+			return
+		}
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		// The go command probes for supported analyzer flags before the
+		// first real run; this tool takes none.
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitchecker(args[0]))
+	}
+	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+		printHelp()
+		return
+	}
+	os.Exit(standalone(args))
+}
+
+func printHelp() {
+	fmt.Println("rlzvet checks this repository's hand-maintained invariants.\n\nAnalyzers:")
+	for _, a := range analysis.Analyzers() {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println("\nUsage: rlzvet [packages]   (default ./...)")
+	fmt.Println("   or: go vet -vettool=$(which rlzvet) [packages]")
+}
+
+// printVersion implements the -V=full handshake the go command uses to
+// fingerprint vet tools for its action cache: the reported version
+// must change when the binary does, so it is the binary's own hash.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("rlzvet version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+// standalone loads, collects annotations across every matched package,
+// and runs the full suite, printing findings to stderr.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+	idx := analysis.NewIndex()
+	var findings []analysis.Finding
+	for _, p := range pkgs {
+		findings = append(findings, analysis.CollectAnnotations(p.Fset, p.ImportPath, p.Files, idx)...)
+	}
+	for _, p := range pkgs {
+		fs, err := analysis.RunAnalyzers(p, analysis.Analyzers(), idx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlzvet:", err)
+			return 1
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go command's unit-checker config this
+// tool consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "rlzvet: parsing", cfgFile+":", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	files, err := analysis.ParseFiles(fset, cfg.Dir, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, analysis.NewIndex())
+		}
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+
+	// This package's own annotations become its exported facts; the
+	// merged view (deps' facts + own) drives the analyzers.
+	own := analysis.NewIndex()
+	directiveFindings := analysis.CollectAnnotations(fset, cfg.ImportPath, files, own)
+	merged := analysis.NewIndex()
+	for _, vetx := range cfg.PackageVetx {
+		dep, err := readVetx(vetx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlzvet:", err)
+			return 1
+		}
+		merged.Merge(dep)
+	}
+	merged.Merge(own)
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	tpkg, info, err := analysis.TypeCheck(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, own)
+		}
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	findings, err := analysis.RunAnalyzers(pkg, analysis.Analyzers(), merged)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+	findings = append(directiveFindings, findings...)
+
+	if rc := writeVetx(cfg.VetxOutput, own); rc != 0 {
+		return rc
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(path string, idx *analysis.Index) int {
+	if path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+	if err := gob.NewEncoder(f).Encode(idx); err != nil {
+		_ = f.Close()
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rlzvet:", err)
+		return 1
+	}
+	return 0
+}
+
+func readVetx(path string) (*analysis.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	idx := analysis.NewIndex()
+	if err := gob.NewDecoder(f).Decode(idx); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return idx, nil
+}

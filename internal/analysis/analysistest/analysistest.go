@@ -1,0 +1,172 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its findings against the fixture's own expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest for this
+// repository's stdlib-only framework.
+//
+// A fixture is a directory of .go files (conventionally under
+// internal/analysis/testdata/src/<analyzer>). Expected findings are
+// declared in comments on the offending line:
+//
+//	v.tryRef() // want `must be used directly in an if condition`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match the message of one finding reported on that line; findings
+// with no matching expectation, and expectations with no matching
+// finding, both fail the test. A fixture with no want comments asserts
+// the analyzer stays silent — that is how the known-good idioms
+// (deferred Put, CAS acquire loops, drain-then-close) are pinned
+// against false positives.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rlz/internal/analysis"
+)
+
+// expectation is one want pattern, anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	src     string
+	matched bool
+}
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run applies analyzer a to the fixture package in dir and reports any
+// mismatch between its findings and the fixture's want comments as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	findings, pkg, err := analyze(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		fname := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, m := range wantArgRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					src := m[1]
+					if m[2] != "" || src == "" {
+						var uerr error
+						src, uerr = strconv.Unquote(`"` + m[2] + `"`)
+						if uerr != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", fname, line, m[2], uerr)
+						}
+					}
+					re, rerr := regexp.Compile(src)
+					if rerr != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, src, rerr)
+					}
+					wants = append(wants, &expectation{file: fname, line: line, re: re, src: src})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		fname := filepath.Base(f.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == fname && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected finding: %s: %s", fname, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched `%s`", w.file, w.line, w.src)
+		}
+	}
+}
+
+// analyze parses, type-checks, and runs a over the fixture in dir.
+// Fixture imports are restricted to the standard library, satisfied as
+// export data from the build cache.
+func analyze(a *analysis.Analyzer, dir string) ([]analysis.Finding, *analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, dir, names)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, im := range f.Imports {
+			path, _ := strconv.Unquote(im.Path.Value)
+			if path != "" && path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	exports, err := analysis.ListExports(dir, imports...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	pkgPath := "rlz/fixture/" + filepath.Base(dir)
+	imp := importer.ForCompiler(fset, "gc", analysis.ExportLookup(exports))
+	tpkg, info, err := analysis.TypeCheck(fset, imp, pkgPath, files)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+
+	idx := analysis.NewIndex()
+	findings := analysis.CollectAnnotations(fset, pkgPath, files, idx)
+	pkg := &analysis.Package{
+		ImportPath: pkgPath,
+		Dir:        dir,
+		GoFiles:    names,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	more, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append(findings, more...), pkg, nil
+}

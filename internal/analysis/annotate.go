@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// The //rlz: annotation grammar. Each directive is one comment line in
+// a declaration's doc (or trailing line comment):
+//
+//	//rlz:refcounted acquire=M release=N   on a type: method M takes a
+//	        reference that method N must release. A bool-returning M is
+//	        a conditional acquire (the CAS tryRef idiom): the reference
+//	        exists only on the true branch.
+//	//rlz:pool get=M put=N                 on a type: a pool like
+//	        sync.Pool (which is recognized without annotation); values
+//	        from M must go back through N and must not escape.
+//	//rlz:acquire release=closure          on a func: one of the results
+//	        is a func() that must be called (or deferred) on all paths.
+//	//rlz:acquire release=M                on a func: the first non-error
+//	        result carries a reference that a call ending in .M() on it
+//	        (e.h.unref(), v.unref()) must release on all paths.
+//	//rlz:unbalanced <reason>              on a func: refpair does not
+//	        check it — it transfers reference ownership by design
+//	        (install/drain points). The reason is mandatory.
+//	//rlz:poolsafe <reason>                on a func: poolescape does not
+//	        check it — it intentionally hands pooled values across the
+//	        function boundary. The reason is mandatory.
+//	//rlz:view                             on a func: its []byte result
+//	        borrows a memory mapping — read-only, must not be retained.
+//	//rlz:view callback                    on a func: the []byte handed
+//	        to its func-typed argument borrows a mapping for the call.
+//	//rlz:hotpath                          on a func: no fmt/log calls,
+//	        no capturing closures, no interface boxing outside cold
+//	        (return/panic) positions.
+//	//rlz:locked <mu>                      on a func: contract that the
+//	        caller holds <mu>; prose "Called with <mu> held." works too.
+//
+// Struct fields are annotated in prose: a field whose doc or line
+// comment contains "guarded by <mu>" is checked by lockguard.
+
+// Entry is every annotation attached to one declaration, keyed by the
+// declaration's qualified name. The zero value means unannotated.
+type Entry struct {
+	Refcounted       bool
+	Acquire, Release string // refcounted method names
+
+	Pool     bool
+	Get, Put string // pool method names
+
+	AcquireFunc    bool
+	AcquireRelease string // "closure" or a release method name
+
+	Unbalanced bool
+	PoolSafe   bool
+
+	View         bool
+	ViewCallback bool
+
+	HotPath bool
+
+	LockedWith []string // mutex names the caller must hold
+
+	GuardedBy string // fields only: the guarding mutex's field name
+}
+
+// Index maps qualified declaration names to their annotations across
+// every package the driver has seen — the suite's facts store. Keys:
+//
+//	types and funcs    pkgpath.Name
+//	methods            pkgpath.RecvType.Name (interface methods too)
+//	struct fields      pkgpath.StructType.Field
+//
+// The gob encoding of the map is what cmd/rlzvet writes as its vetx
+// facts file in -vettool mode.
+type Index struct {
+	Entries map[string]*Entry
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index { return &Index{Entries: map[string]*Entry{}} }
+
+// Merge copies other's entries into i (dep facts into the current
+// package's view).
+func (i *Index) Merge(other *Index) {
+	for k, v := range other.Entries {
+		i.Entries[k] = v
+	}
+}
+
+func (i *Index) entry(key string) *Entry {
+	e := i.Entries[key]
+	if e == nil {
+		e = &Entry{}
+		i.Entries[key] = e
+	}
+	return e
+}
+
+// Lookup returns the annotations for key, or nil.
+func (i *Index) Lookup(key string) *Entry {
+	if i == nil {
+		return nil
+	}
+	return i.Entries[key]
+}
+
+// FuncKey builds the index key for a function or method object.
+func FuncKey(fn *types.Func) string {
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name := n.Obj().Name()
+			if n.Obj().Pkg() != nil {
+				name = n.Obj().Pkg().Path() + "." + name
+			}
+			return name + "." + fn.Name()
+		}
+		return pkgPath + "." + fn.Name()
+	}
+	if pkgPath == "" {
+		return fn.Name()
+	}
+	return pkgPath + "." + fn.Name()
+}
+
+// TypeKey builds the index key for a named type.
+func TypeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// FieldKey builds the index key for field f of struct type name in pkg.
+func FieldKey(pkgPath, typeName, field string) string {
+	return pkgPath + "." + typeName + "." + field
+}
+
+var (
+	guardedRe  = regexp.MustCompile(`guarded by (\w+)`)
+	contractRe = regexp.MustCompile(`[Cc]alled with (?:the )?(\w+)(?: lock)? held`)
+)
+
+// CollectAnnotations scans one package's syntax for //rlz: directives
+// and prose contracts and folds them into idx. Malformed directives are
+// returned as findings so they fail the build loudly instead of being
+// silently ignored.
+func CollectAnnotations(fset *token.FileSet, pkgPath string, files []*ast.File, idx *Index) []Finding {
+	var bad []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Finding{
+			Analyzer: "rlzdirective",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				key := funcDeclKey(pkgPath, d)
+				collectFuncDirectives(pkgPath, key, d.Doc, idx, report)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					key := pkgPath + "." + ts.Name.Name
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					collectTypeDirectives(key, doc, ts.Comment, idx, report)
+					switch t := ts.Type.(type) {
+					case *ast.StructType:
+						collectGuardedFields(pkgPath, ts.Name.Name, t, idx)
+					case *ast.InterfaceType:
+						collectInterfaceMethods(pkgPath, ts.Name.Name, t, idx, report)
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+func funcDeclKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		t := d.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = ix.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return pkgPath + "." + id.Name + "." + d.Name.Name
+		}
+	}
+	return pkgPath + "." + d.Name.Name
+}
+
+// directives extracts the //rlz: lines of a comment group.
+func directives(groups ...*ast.CommentGroup) []*ast.Comment {
+	var out []*ast.Comment
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, "//rlz:") {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// kvArgs parses "k1=v1 k2=v2" directive arguments.
+func kvArgs(args []string) (map[string]string, bool) {
+	m := map[string]string{}
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok || k == "" || v == "" {
+			return nil, false
+		}
+		m[k] = v
+	}
+	return m, true
+}
+
+type reportFn func(pos token.Pos, format string, args ...any)
+
+func collectTypeDirectives(key string, doc, line *ast.CommentGroup, idx *Index, report reportFn) {
+	for _, c := range directives(doc, line) {
+		verb, args := splitDirective(c.Text)
+		switch verb {
+		case "refcounted":
+			kv, ok := kvArgs(args)
+			if !ok || kv["acquire"] == "" || kv["release"] == "" || len(kv) != 2 {
+				report(c.Pos(), "malformed directive %q (want //rlz:refcounted acquire=M release=N)", c.Text)
+				continue
+			}
+			e := idx.entry(key)
+			e.Refcounted, e.Acquire, e.Release = true, kv["acquire"], kv["release"]
+		case "pool":
+			kv, ok := kvArgs(args)
+			if !ok || kv["get"] == "" || kv["put"] == "" || len(kv) != 2 {
+				report(c.Pos(), "malformed directive %q (want //rlz:pool get=M put=N)", c.Text)
+				continue
+			}
+			e := idx.entry(key)
+			e.Pool, e.Get, e.Put = true, kv["get"], kv["put"]
+		default:
+			report(c.Pos(), "directive %q is not valid on a type", c.Text)
+		}
+	}
+}
+
+func collectFuncDirectives(pkgPath, key string, doc *ast.CommentGroup, idx *Index, report reportFn) {
+	if doc != nil {
+		if m := contractRe.FindStringSubmatch(doc.Text()); m != nil {
+			e := idx.entry(key)
+			e.LockedWith = append(e.LockedWith, m[1])
+		}
+	}
+	for _, c := range directives(doc) {
+		verb, args := splitDirective(c.Text)
+		switch verb {
+		case "acquire":
+			kv, ok := kvArgs(args)
+			if !ok || kv["release"] == "" || len(kv) != 1 {
+				report(c.Pos(), "malformed directive %q (want //rlz:acquire release=closure|M)", c.Text)
+				continue
+			}
+			e := idx.entry(key)
+			e.AcquireFunc, e.AcquireRelease = true, kv["release"]
+		case "unbalanced":
+			if len(args) == 0 {
+				report(c.Pos(), "//rlz:unbalanced needs a reason")
+				continue
+			}
+			idx.entry(key).Unbalanced = true
+		case "poolsafe":
+			if len(args) == 0 {
+				report(c.Pos(), "//rlz:poolsafe needs a reason")
+				continue
+			}
+			idx.entry(key).PoolSafe = true
+		case "view":
+			e := idx.entry(key)
+			if len(args) == 1 && args[0] == "callback" {
+				e.ViewCallback = true
+			} else if len(args) == 0 {
+				e.View = true
+			} else {
+				report(c.Pos(), "malformed directive %q (want //rlz:view [callback])", c.Text)
+			}
+		case "hotpath":
+			idx.entry(key).HotPath = true
+		case "locked":
+			if len(args) != 1 {
+				report(c.Pos(), "malformed directive %q (want //rlz:locked mu)", c.Text)
+				continue
+			}
+			e := idx.entry(key)
+			e.LockedWith = append(e.LockedWith, args[0])
+		default:
+			report(c.Pos(), "unknown directive %q", c.Text)
+		}
+	}
+}
+
+func collectGuardedFields(pkgPath, typeName string, st *ast.StructType, idx *Index) {
+	for _, field := range st.Fields.List {
+		mu := ""
+		for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if g == nil {
+				continue
+			}
+			if m := guardedRe.FindStringSubmatch(g.Text()); m != nil {
+				mu = m[1]
+			}
+		}
+		if mu == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			idx.entry(FieldKey(pkgPath, typeName, name.Name)).GuardedBy = mu
+		}
+	}
+}
+
+func collectInterfaceMethods(pkgPath, ifaceName string, it *ast.InterfaceType, idx *Index, report reportFn) {
+	for _, m := range it.Methods.List {
+		if len(m.Names) != 1 {
+			continue // embedded interface
+		}
+		key := pkgPath + "." + ifaceName + "." + m.Names[0].Name
+		collectFuncDirectives(pkgPath, key, m.Doc, idx, report)
+		collectFuncDirectives(pkgPath, key, m.Comment, idx, report)
+	}
+}
+
+func splitDirective(text string) (verb string, args []string) {
+	rest := strings.TrimPrefix(text, "//rlz:")
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	return fields[0], fields[1:]
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClose flags silently discarded errors from the cleanup calls this
+// codebase depends on for durability: Close and Sync methods, and
+// os.Remove / os.RemoveAll. A bare expression statement drops the
+// error invisibly; `_ = f.Close()` states the intent and is accepted,
+// as is `defer f.Close()` (Go offers no non-contorted way to check a
+// deferred error, and the repo's defers are paired with explicit
+// error-checked closes on the success path).
+var ErrClose = &Analyzer{
+	Name: "errclose",
+	Doc:  "check that Close/Sync/Remove errors are not silently discarded",
+	Run:  runErrClose,
+}
+
+func runErrClose(pass *Pass) error {
+	info := pass.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil || !returnsOnlyError(fn) {
+				return true
+			}
+			if !isCleanupCall(fn) {
+				return true
+			}
+			pass.Reportf(es.Pos(), "error from %s is silently discarded; handle it or write `_ = ...` to acknowledge", fnDisplay(fn))
+			return true
+		})
+	}
+	return nil
+}
+
+func isCleanupCall(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	if sig.Recv() != nil {
+		return fn.Name() == "Close" || fn.Name() == "Sync"
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		return fn.Name() == "Remove" || fn.Name() == "RemoveAll"
+	}
+	return false
+}
+
+func returnsOnlyError(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type())
+}
+
+func fnDisplay(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

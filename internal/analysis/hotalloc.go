@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc keeps //rlz:hotpath functions allocation-free along the
+// measured dimensions: no calls into fmt or log (formatting allocates
+// and boxes every operand), no boxing of concrete values into
+// interface-typed parameters or conversions, and no closures that
+// capture enclosing variables (a captured variable moves to the heap
+// and the closure header allocates).
+//
+// Guard blocks are cold: a branch body that unconditionally leaves the
+// function (return, panic, os.Exit) or the loop (break, continue) is an
+// error/edge path, not the steady state, so fmt.Errorf inside a bounds
+// check does not disqualify a function. Closures are exempted by the
+// same rule, but their allocation happens where the literal is
+// *evaluated*, so only literals whose evaluation sits inside a cold
+// block qualify.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "check that //rlz:hotpath functions avoid fmt/log, interface boxing, and capturing closures",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	info := pass.Info
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			e := pass.Ann.Lookup(FuncKey(obj))
+			if e == nil || !e.HotPath {
+				continue
+			}
+			checkHotFunc(pass, fd, funcTitle(obj))
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, name string) {
+	info := pass.Info
+	cold := coldRanges(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || cold.contains(n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.FuncLit:
+			if capt := capturedVar(info, fd, n); capt != nil {
+				pass.Reportf(n.Pos(), "%s: hot path closure captures %s; captured variables escape to the heap", name, capt.Name())
+			}
+		}
+		return true
+	})
+}
+
+// posRanges is a set of source intervals — here, the cold guard blocks
+// of one function body.
+type posRanges []struct{ from, to token.Pos }
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, iv := range r {
+		if iv.from <= p && p < iv.to {
+			return true
+		}
+	}
+	return false
+}
+
+// coldRanges collects the bodies of guard branches: if/else/case blocks
+// whose last statement unconditionally leaves the function or loop.
+// Code in them runs at most once per error or edge condition, never in
+// the steady state the //rlz:hotpath annotation protects.
+func coldRanges(body *ast.BlockStmt) posRanges {
+	var cold posRanges
+	mark := func(b *ast.BlockStmt) {
+		if b != nil && blockLeaves(b.List) {
+			cold = append(cold, struct{ from, to token.Pos }{b.Pos(), b.End()})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own unit; judged where it is evaluated
+		case *ast.IfStmt:
+			mark(n.Body)
+			if eb, ok := n.Else.(*ast.BlockStmt); ok {
+				mark(eb)
+			}
+		case *ast.CaseClause:
+			if blockLeaves(n.Body) && len(n.Body) > 0 {
+				cold = append(cold, struct{ from, to token.Pos }{n.Body[0].Pos(), n.Body[len(n.Body)-1].End()})
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// blockLeaves reports whether the statement list ends by unconditionally
+// leaving: a return, a branch (break/continue/goto), or a terminal call
+// (panic, os.Exit).
+func blockLeaves(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok != token.FALLTHROUGH
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && isTerminalCallExpr(call)
+	case *ast.BlockStmt:
+		return blockLeaves(last.List)
+	}
+	return false
+}
+
+// isTerminalCallExpr is a syntactic check for calls that never return;
+// it needs no type info because panic and os.Exit are unmistakable.
+func isTerminalCallExpr(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			full := pkg.Name + "." + fun.Sel.Name
+			switch full {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Info
+
+	// Conversion to an interface type boxes its operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && !atv.IsNil() && !types.IsInterface(atv.Type) {
+				pass.Reportf(call.Pos(), "%s: conversion boxes %s into interface on the hot path", name, atv.Type.String())
+			}
+		}
+		return
+	}
+
+	fn := calleeOf(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log":
+			pass.Reportf(call.Pos(), "%s: call to %s.%s allocates on the hot path; use a sentinel error or cold helper", name, fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+
+	// Concrete arguments passed to interface-typed parameters box.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := info.Types[a]
+		if !ok || atv.IsNil() || types.IsInterface(atv.Type) {
+			continue
+		}
+		pass.Reportf(a.Pos(), "%s: argument boxes %s into %s on the hot path", name, atv.Type.String(), pt.String())
+	}
+}
+
+// capturedVar returns a variable the literal captures from the
+// enclosing function, or nil.
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) *types.Var {
+	var capt *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capt != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared inside the enclosing function but outside the
+		// literal: a capture.
+		if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+			capt = v
+		}
+		return capt == nil
+	})
+	return capt
+}

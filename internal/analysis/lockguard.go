@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockGuard enforces `guarded by mu` field comments, flow-insensitively:
+// an access to a guarded field x.f is legal only in a function that
+// (a) locks x.mu (Lock or RLock appears anywhere in the function — the
+// flow-insensitive approximation), (b) declares the caller-holds
+// contract with //rlz:locked mu or a "Called with mu held." doc
+// comment, or (c) is constructing the value locally (the struct was
+// built from a composite literal in the same function, so it is not
+// yet shared). Function literals inherit the surrounding function's
+// lock evidence: a closure body inside a locked region is commonly run
+// synchronously, and the flow-insensitive design errs toward silence.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields documented as guarded by a mutex are accessed with it held",
+	Run:  runLockGuard,
+}
+
+func runLockGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockGuardFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkLockGuardFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	name := fd.Name.Name
+	var contract []string
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		name = funcTitle(obj)
+		if e := pass.Ann.Lookup(FuncKey(obj)); e != nil {
+			contract = e.LockedWith
+		}
+	}
+
+	// Lock evidence: every root object whose <root>.<mu-path>.Lock or
+	// RLock is called somewhere in the function (literals included).
+	type lockKey struct {
+		root types.Object
+		mu   string
+	}
+	locked := map[lockKey]bool{}
+	// Locally constructed values are unshared; their fields are free.
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					locked[lockKey{rootObj(info, inner.X), inner.Sel.Name}] = true
+				} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					// A bare mutex variable: record under its own name
+					// with a nil root so package-level mutexes work.
+					locked[lockKey{nil, id.Name}] = true
+					_ = id
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if !isCompositeOfStruct(r) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	hasContract := func(mu string) bool {
+		for _, c := range contract {
+			if c == mu {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok || field.Pkg() == nil {
+			return true
+		}
+		owner := namedOf(deref(s.Recv()))
+		if owner == nil {
+			return true
+		}
+		e := pass.Ann.Lookup(FieldKey(field.Pkg().Path(), owner.Obj().Name(), field.Name()))
+		if e == nil || e.GuardedBy == "" {
+			return true
+		}
+		mu := e.GuardedBy
+		root := rootObj(info, sel.X)
+		if fresh[root] {
+			return true
+		}
+		if locked[lockKey{root, mu}] || locked[lockKey{nil, mu}] || hasContract(mu) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s: %s.%s is guarded by %s, but %s is not held here (no %s.Lock and no 'Called with %s held' contract)",
+			name, owner.Obj().Name(), field.Name(), mu, mu, mu, mu)
+		return true
+	})
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isCompositeOfStruct(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	if c, ok := e.(*ast.CallExpr); ok {
+		// new(T) also yields an unshared value.
+		if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+		return false
+	}
+	_, ok := e.(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape enforces the pooled-buffer discipline: a value taken from
+// a sync.Pool (recognized without annotation) or from a custom pool
+// type annotated
+//
+//	//rlz:pool get=Get put=Put
+//
+// must be handed back through Put on every control-flow path, and must
+// not escape the function through a return value, a send, a bare store
+// into non-local state, or a goroutine capture. Passing the value DOWN
+// the stack as a call argument is borrowing and is fine; handing it to
+// an //rlz:poolsafe function transfers the Put duty and satisfies the
+// obligation. Functions annotated //rlz:poolsafe are themselves skipped
+// — they intentionally move pooled values across their boundary (the
+// pool type's own Get/Put implementations are skipped the same way).
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "check that pooled values are returned to their pool on all paths and do not escape",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, u := range unitsOf(pass) {
+		if u.entry != nil && u.entry.PoolSafe {
+			continue
+		}
+		if isPoolMethod(pass, u) {
+			continue
+		}
+		checkPoolUnit(pass, u)
+	}
+	return nil
+}
+
+// isPoolMethod reports whether u is the Get or Put implementation of an
+// annotated pool type — the one place pooled values legitimately cross
+// the boundary without annotation.
+func isPoolMethod(pass *Pass, u unit) bool {
+	if u.decl == nil || u.decl.Recv == nil {
+		return false
+	}
+	obj, ok := pass.Info.Defs[u.decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	e := pass.Ann.Lookup(TypeKey(named))
+	return e != nil && e.Pool && (obj.Name() == e.Get || obj.Name() == e.Put)
+}
+
+// poolOb is one outstanding Put obligation.
+type poolOb struct {
+	call    *ast.CallExpr
+	poolStr string // receiver spelling of the Get call
+	putName string
+	subj    types.Object
+}
+
+func checkPoolUnit(pass *Pass, u unit) {
+	info := pass.Info
+	var obs []*poolOb
+	inspectUnit(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		putName, ok := poolGetCall(pass, call)
+		if !ok {
+			return true
+		}
+		ob := &poolOb{call: call, poolStr: types.ExprString(recvOf(call)), putName: putName}
+		stmt := enclosingStmt(u.body, call)
+		switch stmt.(type) {
+		case *ast.AssignStmt:
+		default:
+			// p.Get() dropped on the floor, returned, or consumed in a
+			// larger expression: the first is pointless but harmless,
+			// the rest are out of scope for a syntactic check.
+			return true
+		}
+		id := poolResultIdent(stmt.(*ast.AssignStmt), call)
+		if id == nil || id.Name == "_" {
+			return true
+		}
+		ob.subj = info.ObjectOf(id)
+		obs = append(obs, ob)
+		return true
+	})
+	if len(obs) == 0 {
+		return
+	}
+	cfg := BuildCFG(u.body)
+	if cfg.Unsupported() {
+		pass.Reportf(obs[0].call.Pos(), "%s: control flow not analyzable (goto); cannot verify pool Put", u.name)
+		return
+	}
+	for _, ob := range obs {
+		checkPoolObligation(pass, u, cfg, ob)
+	}
+}
+
+// poolGetCall reports whether call is a Get on a sync.Pool or an
+// annotated pool type, returning the matching Put method name.
+func poolGetCall(pass *Pass, call *ast.CallExpr) (putName string, ok bool) {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return "", false
+	}
+	if TypeKey(named) == "sync.Pool" && fn.Name() == "Get" {
+		return "Put", true
+	}
+	if e := pass.Ann.Lookup(TypeKey(named)); e != nil && e.Pool && fn.Name() == e.Get {
+		return e.Put, true
+	}
+	return "", false
+}
+
+// poolResultIdent finds the LHS ident bound to the Get result, looking
+// through a type assertion: x := p.Get().(*T) and x, _ := p.Get().(*T).
+func poolResultIdent(s *ast.AssignStmt, call *ast.CallExpr) *ast.Ident {
+	for i, r := range s.Rhs {
+		e := ast.Unparen(r)
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		if e != call {
+			continue
+		}
+		// With a comma-ok assertion there are two LHS for one RHS; the
+		// value is always the first.
+		if len(s.Rhs) == 1 && len(s.Lhs) == 2 {
+			i = 0
+		}
+		if i < len(s.Lhs) {
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+				return id
+			}
+		}
+	}
+	return nil
+}
+
+func checkPoolObligation(pass *Pass, u unit, cfg *CFG, ob *poolOb) {
+	info := pass.Info
+	start, ok := cfg.Locate(ob.call)
+	if !ok {
+		pass.Reportf(ob.call.Pos(), "%s: pool Get in unsupported position; cannot verify Put", u.name)
+		return
+	}
+
+	// Escapes are reported wherever they occur; each also ends the
+	// obligation on its path (the value's lifetime left this function).
+	classify := func(s ast.Stmt) Action {
+		if isTerminalCall(info, s) {
+			return ActionExempt
+		}
+		if poolPutStmt(pass, s, ob) {
+			return ActionSatisfy
+		}
+		if pos, kind := poolEscape(pass, s, ob); kind != "" {
+			pass.Reportf(pos, "%s: pooled value from %s.%s escapes %s", u.name, ob.poolStr, "Get", kind)
+			return ActionSatisfy
+		}
+		if poolTransfer(pass, s, ob) {
+			return ActionSatisfy
+		}
+		return ActionNone
+	}
+	if cfg.Leaks(start, true, classify) {
+		pass.Reportf(ob.call.Pos(), "%s: pooled value is not returned to %s via %s on all paths", u.name, ob.poolStr, ob.putName)
+	}
+}
+
+// poolPutStmt: stmt contains pool.Put(... subj ...), directly or inside
+// a deferred closure.
+func poolPutStmt(pass *Pass, stmt ast.Stmt, ob *poolOb) bool {
+	info := pass.Info
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != ob.putName {
+			return true
+		}
+		if !mentions(info, call, ob.subj) {
+			return true
+		}
+		// Same pool if the receiver spells the same, or any receiver
+		// whose type is a pool (helper with the pool in a local).
+		if types.ExprString(sel.X) == ob.poolStr || isPoolTyped(pass, sel.X) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isPoolTyped(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	if TypeKey(named) == "sync.Pool" {
+		return true
+	}
+	ent := pass.Ann.Lookup(TypeKey(named))
+	return ent != nil && ent.Pool
+}
+
+// poolTransfer: the Put duty is handed to an //rlz:poolsafe function
+// taking subj as a direct argument.
+func poolTransfer(pass *Pass, stmt ast.Stmt, ob *poolOb) bool {
+	info := pass.Info
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		e := pass.Ann.Lookup(FuncKey(fn))
+		if e == nil || !e.PoolSafe {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && info.ObjectOf(id) == ob.subj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// poolEscape detects the forbidden lifetimes: return, send, goroutine
+// capture, or a bare store of the pooled value itself.
+func poolEscape(pass *Pass, stmt ast.Stmt, ob *poolOb) (pos token.Pos, kind string) {
+	info := pass.Info
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if bareUse(info, r, ob.subj) {
+				return r.Pos(), "via return"
+			}
+		}
+	case *ast.SendStmt:
+		if bareUse(info, s.Value, ob.subj) {
+			return s.Pos(), "via channel send"
+		}
+	case *ast.GoStmt:
+		if mentions(info, s.Call, ob.subj) {
+			return s.Pos(), "into a goroutine"
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if !bareUse(info, r, ob.subj) {
+				continue
+			}
+			// Rebinding to another local is fine; storing into a
+			// field, index, or dereference leaks past the frame.
+			for _, l := range s.Lhs {
+				switch ast.Unparen(l).(type) {
+				case *ast.Ident:
+				default:
+					return s.Pos(), "into non-local storage"
+				}
+			}
+		}
+	}
+	return 0, ""
+}

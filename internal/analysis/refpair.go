@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RefPair enforces acquire/release pairing on the repository's
+// refcount idioms. A type opts in with
+//
+//	//rlz:refcounted acquire=tryRef release=unref
+//
+// after which every call to the acquire method must be matched by a
+// call to the release method on every control-flow path — directly,
+// via defer, or by transferring the reference out (returning it,
+// storing it, handing it to another function). An acquire method
+// returning a single bool is conditional (the CAS tryRef idiom): the
+// reference exists only where the result is true, so the call must sit
+// directly in an if condition. Functions returning a live reference
+// declare it with //rlz:acquire release=closure (a result func() must
+// be called) or //rlz:acquire release=M (the result's reference is
+// dropped by a call ending in .M()); when such a function also returns
+// an error, paths through `if err != nil` blocks are exempt — the
+// acquire failed there. //rlz:unbalanced excludes a hand-audited
+// ownership-transfer function entirely.
+var RefPair = &Analyzer{
+	Name: "refpair",
+	Doc:  "check that refcounted acquires are released on all control-flow paths",
+	Run:  runRefPair,
+}
+
+// refOb is one outstanding release obligation.
+type refOb struct {
+	call    *ast.CallExpr
+	what    string // for the diagnostic
+	release string // release method name; "" means closure call
+	subj    types.Object
+	recvStr string // exact receiver spelling for method acquires
+	errObj  types.Object
+	// closure obligations: subj is the func()-typed result.
+	closure bool
+	// conditional bool acquire: where the reference starts existing.
+	cond        bool
+	condIf      *ast.IfStmt
+	condNegated bool
+}
+
+func runRefPair(pass *Pass) error {
+	for _, u := range unitsOf(pass) {
+		if u.entry != nil && u.entry.Unbalanced {
+			continue
+		}
+		checkRefPairUnit(pass, u)
+	}
+	return nil
+}
+
+func checkRefPairUnit(pass *Pass, u unit) {
+	info := pass.Info
+	var obs []*refOb
+	inspectUnit(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if ob := methodAcquire(pass, u, call, fn); ob != nil {
+			obs = append(obs, ob)
+		}
+		if e := pass.Ann.Lookup(FuncKey(fn)); e != nil && e.AcquireFunc {
+			if ob := funcAcquire(pass, u, call, fn, e); ob != nil {
+				obs = append(obs, ob)
+			}
+		}
+		return true
+	})
+	if len(obs) == 0 {
+		return
+	}
+	cfg := BuildCFG(u.body)
+	if cfg.Unsupported() {
+		pass.Reportf(obs[0].call.Pos(), "%s: control flow not analyzable (goto); cannot verify release of %s", u.name, obs[0].what)
+		return
+	}
+	for _, ob := range obs {
+		checkObligation(pass, u, cfg, ob)
+	}
+}
+
+// methodAcquire recognizes x.Acquire() on an //rlz:refcounted type.
+func methodAcquire(pass *Pass, u unit, call *ast.CallExpr, fn *types.Func) *refOb {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return nil
+	}
+	e := pass.Ann.Lookup(TypeKey(named))
+	if e == nil || !e.Refcounted || fn.Name() != e.Acquire {
+		return nil
+	}
+	recv := recvOf(call)
+	if recv == nil {
+		return nil // method expression; out of scope
+	}
+	ob := &refOb{
+		call:    call,
+		what:    named.Obj().Name() + "." + e.Acquire,
+		release: e.Release,
+		subj:    rootObj(pass.Info, recv),
+		recvStr: types.ExprString(recv),
+	}
+	if sig.Results().Len() == 1 && isBool(sig.Results().At(0).Type()) {
+		ifs, neg, ok := callPolarity(u.body, call)
+		if !ok {
+			pass.Reportf(call.Pos(), "%s: result of conditional acquire %s must be used directly in an if condition", u.name, ob.what)
+			return nil
+		}
+		ob.cond, ob.condIf, ob.condNegated = true, ifs, neg
+	}
+	return ob
+}
+
+// funcAcquire recognizes calls to //rlz:acquire functions and binds the
+// obligation to the assigned result.
+func funcAcquire(pass *Pass, u unit, call *ast.CallExpr, fn *types.Func, e *Entry) *refOb {
+	stmt := enclosingStmt(u.body, call)
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return nil // passed straight through to the caller
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "%s: result of %s carries a reference but is discarded", u.name, fn.Name())
+		return nil
+	case *ast.AssignStmt, *ast.DeclStmt:
+		_ = s
+	default:
+		return nil // nested in a larger expression: transferred
+	}
+	idents := assignedIdents(stmt)
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	results := sig.Results()
+	// Single-assign of a multi-result call still lines up index-wise
+	// only when counts match; otherwise bail out quietly.
+	if len(idents) != results.Len() && !(results.Len() == 1 && len(idents) == 1) {
+		return nil
+	}
+	ob := &refOb{call: call, what: fn.Name()}
+	subjIdx := -1
+	for i := 0; i < results.Len(); i++ {
+		rt := results.At(i).Type()
+		if isErrorType(rt) {
+			if i < len(idents) && idents[i] != nil && idents[i].Name != "_" {
+				ob.errObj = pass.Info.ObjectOf(idents[i])
+			}
+			continue
+		}
+		if e.AcquireRelease == "closure" {
+			if subjIdx == -1 && isNullaryFunc(rt) {
+				subjIdx = i
+			}
+		} else if subjIdx == -1 {
+			subjIdx = i
+		}
+	}
+	if subjIdx == -1 || subjIdx >= len(idents) {
+		return nil
+	}
+	id := idents[subjIdx]
+	if id == nil || id.Name == "_" {
+		if e.AcquireRelease == "closure" {
+			pass.Reportf(call.Pos(), "%s: release function returned by %s is discarded", u.name, fn.Name())
+		} else {
+			pass.Reportf(call.Pos(), "%s: reference returned by %s is discarded", u.name, fn.Name())
+		}
+		return nil
+	}
+	ob.subj = pass.Info.ObjectOf(id)
+	if e.AcquireRelease == "closure" {
+		ob.closure = true
+	} else {
+		ob.release = e.AcquireRelease
+	}
+	return ob
+}
+
+func checkObligation(pass *Pass, u unit, cfg *CFG, ob *refOb) {
+	var start Loc
+	var startAfter bool
+	var ok bool
+	if ob.cond {
+		if ob.condNegated {
+			start, ok = cfg.AfterIf(ob.condIf)
+		} else {
+			start, ok = cfg.ThenEntry(ob.condIf)
+		}
+	} else {
+		start, ok = cfg.Locate(ob.call)
+		startAfter = true
+	}
+	if !ok {
+		pass.Reportf(ob.call.Pos(), "%s: acquire %s in unsupported position; cannot verify release", u.name, ob.what)
+		return
+	}
+	exempt := errGuardBodies(pass.Info, u.body, ob.errObj)
+	info := pass.Info
+	classify := func(s ast.Stmt) Action {
+		if isTerminalCall(info, s) {
+			return ActionExempt
+		}
+		if exempt[s] {
+			return ActionExempt
+		}
+		if refObSatisfied(info, s, ob) {
+			return ActionSatisfy
+		}
+		return ActionNone
+	}
+	if cfg.Leaks(start, startAfter, classify) {
+		if ob.closure {
+			pass.Reportf(ob.call.Pos(), "%s: release function from %s is not called on all paths", u.name, ob.what)
+		} else {
+			pass.Reportf(ob.call.Pos(), "%s: reference from %s is not released by %s on all paths", u.name, ob.what, ob.release)
+		}
+	}
+}
+
+// refObSatisfied reports whether stmt discharges the obligation:
+// a release call, or a transfer of the reference out of the function.
+func refObSatisfied(info *types.Info, stmt ast.Stmt, ob *refOb) bool {
+	if ob.closure {
+		return closureSatisfied(info, stmt, ob.subj)
+	}
+	if stmtReleases(info, stmt, ob) {
+		return true
+	}
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return mentions(info, s, ob.subj)
+	case *ast.GoStmt, *ast.DeferStmt:
+		return mentions(info, stmt, ob.subj)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if bareUse(info, r, ob.subj) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			for _, a := range call.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok && info.ObjectOf(id) == ob.subj {
+					return true // transferred, e.g. install(v)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// stmtReleases looks for <recv>.Release() anywhere in stmt, including
+// inside function literals (a deferred cleanup closure counts).
+func stmtReleases(info *types.Info, stmt ast.Stmt, ob *refOb) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != ob.release {
+			return true
+		}
+		if types.ExprString(sel.X) == ob.recvStr ||
+			(ob.subj != nil && rootObj(info, sel.X) == ob.subj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// closureSatisfied: the release closure is called, deferred, returned,
+// stored, or handed to another function.
+func closureSatisfied(info *types.Info, stmt ast.Stmt, subj types.Object) bool {
+	if subj == nil {
+		return false
+	}
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.GoStmt:
+		return mentions(info, stmt, subj)
+	case *ast.DeferStmt:
+		return mentions(info, s, subj)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if mentions(info, r, subj) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		// rel(), or pass the closure along: t.Cleanup(rel).
+		return mentions(info, s, subj)
+	}
+	return false
+}
+
+// bareUse reports whether subj appears in e as a value being stored —
+// not merely as the receiver or argument of an ordinary call.
+func bareUse(info *types.Info, e ast.Expr, subj types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e) == subj
+	case *ast.UnaryExpr:
+		return bareUse(info, e.X, subj)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if bareUse(info, el, subj) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		// Only append(dst, v) stores its argument.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "append" {
+				for _, a := range e.Args {
+					if bareUse(info, a, subj) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isNullaryFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// enclosingStmt returns the innermost statement of the unit containing
+// n, or nil.
+func enclosingStmt(body *ast.BlockStmt, n ast.Node) ast.Stmt {
+	var best ast.Stmt
+	inspectUnit(body, func(c ast.Node) bool {
+		s, ok := c.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		if s.Pos() <= n.Pos() && n.End() <= s.End() {
+			best = s
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rlz/internal/analysis"
+	"rlz/internal/analysis/analysistest"
+)
+
+func fix(name string) string { return filepath.Join("testdata", "src", name) }
+
+func TestRefPair(t *testing.T)    { analysistest.Run(t, analysis.RefPair, fix("refpair")) }
+func TestPoolEscape(t *testing.T) { analysistest.Run(t, analysis.PoolEscape, fix("poolescape")) }
+func TestZeroCopy(t *testing.T)   { analysistest.Run(t, analysis.ZeroCopy, fix("zerocopy")) }
+func TestLockGuard(t *testing.T)  { analysistest.Run(t, analysis.LockGuard, fix("lockguard")) }
+func TestHotAlloc(t *testing.T)   { analysistest.Run(t, analysis.HotAlloc, fix("hotalloc")) }
+func TestErrClose(t *testing.T)   { analysistest.Run(t, analysis.ErrClose, fix("errclose")) }
+
+// TestRepositoryIsClean is the acceptance gate: the full suite over the
+// real tree must report nothing. It is the same run `rlzvet ./...`
+// performs, so a failure here reproduces on the command line.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := analysis.NewIndex()
+	var bad []analysis.Finding
+	for _, p := range pkgs {
+		bad = append(bad, analysis.CollectAnnotations(p.Fset, p.ImportPath, p.Files, idx)...)
+	}
+	for _, p := range pkgs {
+		findings, err := analysis.RunAnalyzers(p, analysis.Analyzers(), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad = append(bad, findings...)
+	}
+	for _, f := range bad {
+		t.Errorf("%s", f)
+	}
+}

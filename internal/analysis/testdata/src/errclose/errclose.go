@@ -1,0 +1,60 @@
+// Package errclose exercises the errclose analyzer: bare expression
+// statements discarding a Close/Sync/os.Remove error are flagged;
+// `_ =`, handled returns, and defers are accepted.
+package errclose
+
+import "os"
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+func (f *file) Sync() error  { return nil }
+
+// nonError's Close returns more than an error; not a cleanup call.
+type nonError struct{}
+
+func (n *nonError) Close() (int, error) { return 0, nil }
+
+// --- known-good idioms (no findings expected) ---
+
+func acknowledged(f *file, path string) {
+	_ = f.Close()
+	_ = os.Remove(path)
+}
+
+func handled(f *file) error {
+	return f.Close()
+}
+
+func checked(f *file) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferred(f *file) {
+	defer f.Close()
+}
+
+func otherShape(n *nonError) {
+	n.Close()
+}
+
+// --- violations ---
+
+func bad(f *file) {
+	f.Close() // want `error from file\.Close is silently discarded`
+}
+
+func badSync(f *file) {
+	f.Sync() // want `error from file\.Sync is silently discarded`
+}
+
+func badRemove(path string) {
+	os.Remove(path) // want `error from os\.Remove is silently discarded`
+}
+
+func badRemoveAll(path string) {
+	os.RemoveAll(path) // want `error from os\.RemoveAll is silently discarded`
+}

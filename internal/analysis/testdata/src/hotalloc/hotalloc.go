@@ -1,0 +1,66 @@
+// Package hotalloc exercises the hotalloc analyzer: //rlz:hotpath
+// functions must not call fmt/log, box values into interfaces, or
+// allocate capturing closures — except inside cold guard blocks that
+// unconditionally leave the function.
+package hotalloc
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+// --- known-good idioms (no findings expected) ---
+
+// sum's bounds check is a cold guard: the fmt.Errorf (and the boxing
+// of its operands) runs only on the error path.
+//
+//rlz:hotpath
+func sum(xs []int, n int) (int, error) {
+	if n > len(xs) {
+		return 0, fmt.Errorf("n %d > len %d", n, len(xs))
+	}
+	t := 0
+	for _, x := range xs[:n] {
+		t += x
+	}
+	return t, nil
+}
+
+// panicGuard's violation sits in a block ending in panic — cold.
+//
+//rlz:hotpath
+func panicGuard(xs []int, i int) int {
+	if i < 0 {
+		panic(fmt.Sprintf("negative index %d", i))
+	}
+	return xs[i]
+}
+
+// coldFmt is unannotated; nothing is checked.
+func coldFmt(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+
+// --- violations ---
+
+//rlz:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `call to fmt\.Sprintf allocates on the hot path`
+}
+
+//rlz:hotpath
+func hotClosure(xs []int) int {
+	t := 0
+	f := func() { t++ } // want `hot path closure captures t`
+	f()
+	return t
+}
+
+//rlz:hotpath
+func hotBox(x int) {
+	sink(x) // want `argument boxes int into interface\{\} on the hot path`
+}
+
+//rlz:hotpath
+func hotConv(x int) interface{} {
+	return interface{}(x) // want `conversion boxes int into interface on the hot path`
+}

@@ -1,0 +1,69 @@
+// Package lockguard exercises the lockguard analyzer: fields commented
+// `guarded by mu` must be accessed with the mutex held, under a
+// caller-holds contract, or on a freshly constructed value.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// --- known-good idioms (no findings expected) ---
+
+func good(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func goodRead(t *table, k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// addLocked bumps the counter. Called with mu held.
+func addLocked(c *counter) {
+	c.n++
+}
+
+//rlz:locked mu
+func resetLocked(c *counter) {
+	c.n = 0
+}
+
+// fresh constructs the value locally; it is not yet shared.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// goodClosure inherits the enclosing function's lock evidence.
+func goodClosure(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	get := func() int { return c.n }
+	return get()
+}
+
+// --- violations ---
+
+func bad(c *counter) int {
+	return c.n // want `counter\.n is guarded by mu, but mu is not held here`
+}
+
+func badWrite(c *counter) {
+	c.n++ // want `counter\.n is guarded by mu, but mu is not held here`
+}
+
+func badLookup(t *table, k string) int {
+	return t.m[k] // want `table\.m is guarded by mu, but mu is not held here`
+}

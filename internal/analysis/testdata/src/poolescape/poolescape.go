@@ -1,0 +1,91 @@
+// Package poolescape exercises the poolescape analyzer: sync.Pool and
+// annotated custom pools, deferred Put, poolsafe transfers, and the
+// escape reports. Lines without want comments pin the known-good
+// idioms against false positives.
+package poolescape
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func use(*[]byte) {}
+
+// pool is the annotated custom pool shape (internal/codec.Pool).
+//
+//rlz:pool get=Get put=Put
+type pool struct{ p sync.Pool }
+
+type buffer struct{ b []byte }
+
+func (p *pool) Get() *buffer {
+	b, _ := p.p.Get().(*buffer)
+	if b == nil {
+		b = new(buffer)
+	}
+	return b
+}
+
+func (p *pool) Put(b *buffer) { p.p.Put(b) }
+
+// handoff takes ownership of b and returns it to the pool itself.
+//
+//rlz:poolsafe the callee assumes the Put duty
+func handoff(p *pool, b *buffer) { p.Put(b) }
+
+// --- known-good idioms (no findings expected) ---
+
+func goodDeferred() {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	use(b)
+}
+
+func goodCommaOk() {
+	b, ok := bufs.Get().(*[]byte)
+	if !ok {
+		b = new([]byte)
+	}
+	defer bufs.Put(b)
+	use(b)
+}
+
+func goodCustom(p *pool) {
+	b := p.Get()
+	defer p.Put(b)
+	_ = b.b
+}
+
+func goodTransfer(p *pool) {
+	b := p.Get()
+	handoff(p, b)
+}
+
+// --- violations ---
+
+func leak(fail bool) {
+	b := bufs.Get().(*[]byte) // want `pooled value is not returned to bufs via Put on all paths`
+	if fail {
+		return
+	}
+	bufs.Put(b)
+}
+
+func customLeak(p *pool, fail bool) {
+	b := p.Get() // want `pooled value is not returned to p via Put on all paths`
+	if fail {
+		return
+	}
+	p.Put(b)
+}
+
+func escapeReturn() *[]byte {
+	b := bufs.Get().(*[]byte)
+	return b // want `pooled value from bufs\.Get escapes via return`
+}
+
+func escapeGoroutine(p *pool) {
+	b := p.Get()
+	go use2(b) // want `pooled value from p\.Get escapes into a goroutine`
+}
+
+func use2(*buffer) {}

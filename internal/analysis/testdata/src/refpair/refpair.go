@@ -1,0 +1,173 @@
+// Package refpair exercises the refpair analyzer: acquire/release
+// pairing on refcounted types, conditional CAS acquires, and the
+// //rlz:acquire function forms. Lines without want comments pin the
+// repository's known-good idioms against false positives.
+package refpair
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type closer interface{ Close() error }
+
+// handle is the conditional-acquire shape: tryRef succeeds only while
+// the count is nonzero (the CAS loop idiom from internal/serve).
+//
+//rlz:refcounted acquire=tryRef release=unref
+type handle struct {
+	refs atomic.Int64
+}
+
+func (h *handle) tryRef() bool {
+	for {
+		n := h.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if h.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (h *handle) unref() { h.refs.Add(-1) }
+
+// res is the unconditional-acquire shape with the drain-then-close
+// idiom in its release: the last unref closes the wrapped resource.
+//
+//rlz:refcounted acquire=ref release=unref
+type res struct {
+	refs atomic.Int64
+	c    closer
+}
+
+func (r *res) ref() { r.refs.Add(1) }
+
+func (r *res) unref() {
+	if r.refs.Add(-1) == 0 {
+		_ = r.c.Close()
+	}
+}
+
+func work() {}
+
+// --- known-good idioms (no findings expected) ---
+
+// goodNegated is the serving layer's negated-guard acquire.
+func goodNegated(h *handle) {
+	if !h.tryRef() {
+		return
+	}
+	defer h.unref()
+	work()
+}
+
+// goodDirect releases inside the conditional's own branch.
+func goodDirect(h *handle) {
+	if h.tryRef() {
+		work()
+		h.unref()
+	}
+}
+
+var registry []*handle
+
+// install transfers the reference into the registry by design.
+//
+//rlz:unbalanced the registry releases on drain
+func install(h *handle) {
+	if h.tryRef() {
+		registry = append(registry, h)
+	}
+}
+
+// open returns a live reference released by calling the closure.
+//
+//rlz:acquire release=closure
+func open() (func(), error) {
+	h := &handle{}
+	h.refs.Add(1)
+	return h.unref, nil
+}
+
+func useClosure() error {
+	release, err := open()
+	if err != nil {
+		return err
+	}
+	defer release()
+	work()
+	return nil
+}
+
+// acquire returns a counted handle the caller must unref.
+//
+//rlz:acquire release=unref
+func acquire(h *handle) (*handle, error) {
+	if !h.tryRef() {
+		return nil, errors.New("closed")
+	}
+	return h, nil
+}
+
+func useAcquire(h *handle) error {
+	v, err := acquire(h)
+	if err != nil {
+		return err
+	}
+	defer v.unref()
+	work()
+	return nil
+}
+
+// --- violations ---
+
+func leak(h *handle) bool {
+	if h.tryRef() { // want `reference from handle\.tryRef is not released by unref on all paths`
+		return true
+	}
+	return false
+}
+
+func misuse(h *handle) bool {
+	ok := h.tryRef() // want `result of conditional acquire handle\.tryRef must be used directly in an if condition`
+	return ok
+}
+
+func leakOnError(r *res, fail bool) error {
+	r.ref() // want `reference from res\.ref is not released by unref on all paths`
+	if fail {
+		return errors.New("boom")
+	}
+	r.unref()
+	return nil
+}
+
+func leakClosure(fail bool) error {
+	release, err := open() // want `release function from open is not called on all paths`
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("skipped cleanup")
+	}
+	release()
+	return nil
+}
+
+func dropResult() {
+	open() // want `result of open carries a reference but is discarded`
+}
+
+func leakAcquire(h *handle, fail bool) error {
+	v, err := acquire(h) // want `reference from acquire is not released by unref on all paths`
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("no release")
+	}
+	v.unref()
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package zerocopy exercises the zerocopy analyzer: borrowed mmap view
+// slices must not be retained, mutated, or leaked. Lines without want
+// comments pin the sanctioned copy-out idioms (append(dst, v...),
+// copy(dst, v), the staged-buffer all-sources rule) against false
+// positives.
+package zerocopy
+
+type mapping struct{ data []byte }
+
+// Slice returns a borrowed sub-slice of the mapping.
+//
+//rlz:view
+func (m *mapping) Slice(off, n int) []byte { return m.data[off : off+n] }
+
+// withView hands a borrowed view to fn for the duration of the call.
+//
+//rlz:view callback
+func withView(m *mapping, fn func(b []byte) error) error { return fn(m.data) }
+
+// --- known-good idioms (no findings expected) ---
+
+func goodCopyOut(m *mapping, dst []byte) []byte {
+	v := m.Slice(0, 8)
+	dst = append(dst, v...)
+	return dst
+}
+
+func goodCopyInto(m *mapping) []byte {
+	v := m.Slice(0, 8)
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// goodStaged is the blockstore staging idiom: a buffer sometimes
+// assigned a view and sometimes owned bytes is not tracked as a view
+// (the all-sources rule), and only copies leave the function.
+func goodStaged(m *mapping, direct bool) []byte {
+	var comp []byte
+	if direct {
+		comp = m.Slice(0, 8)
+	} else {
+		comp = make([]byte, 8)
+	}
+	out := make([]byte, len(comp))
+	copy(out, comp)
+	return out
+}
+
+func goodCallback(m *mapping) ([]byte, error) {
+	var out []byte
+	err := withView(m, func(b []byte) error {
+		out = append(out, b...)
+		return nil
+	})
+	return out, err
+}
+
+// reslice passes a view through; it is itself //rlz:view, so the return
+// is allowed.
+//
+//rlz:view
+func reslice(m *mapping) []byte {
+	v := m.Slice(0, 16)
+	return v[8:]
+}
+
+// --- violations ---
+
+var stash []byte
+
+func retain(m *mapping) {
+	v := m.Slice(0, 8)
+	stash = v // want `mmap view v stored in package-level state`
+}
+
+func leakReturn(m *mapping) []byte {
+	v := m.Slice(0, 8)
+	return v // want `mmap view v escapes via return; copy it first`
+}
+
+func leakAlias(m *mapping) []byte {
+	v := m.Slice(0, 16)
+	w := v[8:]
+	return w // want `mmap view w escapes via return; copy it first`
+}
+
+func mutate(m *mapping) {
+	v := m.Slice(0, 8)
+	v[0] = 1 // want `mmap view v is mutated; views are read-only`
+}
+
+func retainHeader(m *mapping) [][]byte {
+	var frames [][]byte
+	v := m.Slice(0, 8)
+	frames = append(frames, v) // want `mmap view v appended as a slice header`
+	return frames
+}
+
+func sendView(m *mapping, ch chan []byte) {
+	v := m.Slice(0, 8)
+	ch <- v // want `mmap view v sent on a channel outlives its mapping`
+}
+
+func callbackEscape(m *mapping, ch chan []byte) {
+	_ = withView(m, func(b []byte) error {
+		ch <- b // want `mmap view b sent on a channel outlives its mapping`
+		return nil
+	})
+}
+
+func copyIntoView(m *mapping, src []byte) {
+	v := m.Slice(0, 8)
+	copy(v, src) // want `copy writes into mmap view v; views are read-only`
+}

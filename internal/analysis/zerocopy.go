@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ZeroCopy enforces the borrowed-view discipline on mmap-backed byte
+// slices. A function or interface method annotated
+//
+//	//rlz:view
+//
+// returns []byte results that alias a memory mapping: they may be read
+// and copied from, but not retained. The callback form
+//
+//	//rlz:view callback
+//
+// marks a function whose func-typed argument receives a borrowed
+// []byte for the duration of the call. Inside a checked function, a
+// view variable (one whose every assignment derives from a view
+// source — the all-sources rule keeps staging buffers that are merely
+// reassigned over a view untracked) may not be returned (unless the
+// function is itself //rlz:view), sent on a channel, stored into
+// non-local state, appended as a slice header into another slice
+// (append(dst, v...) copies bytes and is fine), mutated, or captured
+// by a goroutine.
+var ZeroCopy = &Analyzer{
+	Name: "zerocopy",
+	Doc:  "check that borrowed mmap view slices are not retained, mutated, or leaked",
+	Run:  runZeroCopy,
+}
+
+func runZeroCopy(pass *Pass) error {
+	for _, u := range unitsOf(pass) {
+		checkZeroCopyUnit(pass, u)
+	}
+	return nil
+}
+
+func checkZeroCopyUnit(pass *Pass, u unit) {
+	info := pass.Info
+	views := viewVars(pass, u)
+
+	returnAllowed := u.entry != nil && (u.entry.View || u.entry.ViewCallback)
+	for obj := range views {
+		checkViewUses(pass, u.name, u.body, obj, returnAllowed, true)
+	}
+
+	// Callback form: the []byte parameters of a literal passed to an
+	// //rlz:view callback function are views inside that literal.
+	inspectUnit(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		e := pass.Ann.Lookup(FuncKey(fn))
+		if e == nil || !e.ViewCallback {
+			return true
+		}
+		for _, a := range call.Args {
+			lit, ok := ast.Unparen(a).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			for _, f := range lit.Type.Params.List {
+				for _, name := range f.Names {
+					obj := info.Defs[name]
+					if obj != nil && isByteSlice(obj.Type()) {
+						checkViewUses(pass, u.name, lit.Body, obj, false, false)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// viewVars computes the unit's view variables: locals whose every
+// assignment in the unit derives from a view source (an //rlz:view
+// call result, or a reslice/alias of another view variable).
+func viewVars(pass *Pass, u unit) map[types.Object]bool {
+	info := pass.Info
+	type sources struct {
+		rhs   []ast.Expr // candidate view-derived right-hand sides
+		other bool       // assigned from something that is never a view
+	}
+	cand := map[types.Object]*sources{}
+	note := func(id *ast.Ident, rhs ast.Expr, viewish bool) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || !isByteSlice(obj.Type()) {
+			return
+		}
+		s := cand[obj]
+		if s == nil {
+			s = &sources{}
+			cand[obj] = s
+		}
+		if viewish {
+			s.rhs = append(s.rhs, rhs)
+		} else {
+			s.other = true
+		}
+	}
+	inspectUnit(u.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			// Multi-value call: line results up with left-hand sides.
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			isView := isViewCall(pass, call)
+			for i, l := range as.Lhs {
+				id, _ := ast.Unparen(l).(*ast.Ident)
+				note(id, as.Rhs[0], isView && resultIsByteSlice(info, call, i))
+			}
+			return true
+		}
+		for i := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, _ := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			note(id, as.Rhs[i], viewDerived(pass, as.Rhs[i]))
+		}
+		return true
+	})
+
+	// Fixed point over alias chains: v := m.Slice(...); w := v[8:].
+	views := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, s := range cand {
+			if s.other || views[obj] {
+				continue
+			}
+			all := true
+			for _, r := range s.rhs {
+				if !viewExpr(pass, views, r) {
+					all = false
+					break
+				}
+			}
+			if all && len(s.rhs) > 0 {
+				views[obj] = true
+				changed = true
+			}
+		}
+	}
+	return views
+}
+
+// viewDerived: syntactically could this RHS be view-derived at all
+// (a call to a view function, or rooted at an identifier)? Used for
+// candidate collection before viewness of roots is known.
+func viewDerived(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isViewCall(pass, e)
+	case *ast.Ident:
+		return true
+	case *ast.SliceExpr:
+		return viewDerived(pass, e.X)
+	}
+	return false
+}
+
+// viewExpr: is e a view value, given the current view-variable set?
+func viewExpr(pass *Pass, views map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isViewCall(pass, e)
+	case *ast.Ident:
+		return views[pass.Info.ObjectOf(e)]
+	case *ast.SliceExpr:
+		return viewExpr(pass, views, e.X)
+	}
+	return false
+}
+
+func isViewCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	e := pass.Ann.Lookup(FuncKey(fn))
+	return e != nil && e.View
+}
+
+func resultIsByteSlice(info *types.Info, call *ast.CallExpr, i int) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	tup, ok := tv.Type.(*types.Tuple)
+	if !ok {
+		return i == 0 && isByteSlice(tv.Type)
+	}
+	return i < tup.Len() && isByteSlice(tup.At(i).Type())
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkViewUses reports every forbidden use of view variable obj within
+// body. skipLits controls whether nested literals are excluded (true
+// when body is a whole unit; the literal gets its own pass).
+func checkViewUses(pass *Pass, name string, body *ast.BlockStmt, obj types.Object, returnAllowed, skipLits bool) {
+	info := pass.Info
+	walk := func(fn func(ast.Node) bool) {
+		if skipLits {
+			inspectUnit(body, fn)
+		} else {
+			ast.Inspect(body, fn)
+		}
+	}
+	walk(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if returnAllowed {
+				return true
+			}
+			for _, r := range s.Results {
+				if bareUse(info, r, obj) {
+					pass.Reportf(r.Pos(), "%s: mmap view %s escapes via return; copy it first", name, obj.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if bareUse(info, s.Value, obj) {
+				pass.Reportf(s.Pos(), "%s: mmap view %s sent on a channel outlives its mapping", name, obj.Name())
+			}
+		case *ast.GoStmt:
+			if mentions(info, s.Call, obj) {
+				pass.Reportf(s.Pos(), "%s: mmap view %s captured by a goroutine outlives its mapping", name, obj.Name())
+			}
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				if viewMutationTarget(info, l, obj) {
+					pass.Reportf(l.Pos(), "%s: mmap view %s is mutated; views are read-only", name, obj.Name())
+				}
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					lo := info.ObjectOf(id)
+					if lo != nil && isPackageLevel(lo) && rhsBareUse(info, s, obj) {
+						pass.Reportf(l.Pos(), "%s: mmap view %s stored in package-level state", name, obj.Name())
+					}
+					continue
+				}
+				if rhsBareUse(info, s, obj) {
+					pass.Reportf(l.Pos(), "%s: mmap view %s stored outside the local frame", name, obj.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if viewMutationTarget(info, s.X, obj) {
+				pass.Reportf(s.Pos(), "%s: mmap view %s is mutated; views are read-only", name, obj.Name())
+			}
+		case *ast.CallExpr:
+			checkViewInCall(pass, info, name, s, obj)
+		}
+		return true
+	})
+}
+
+func rhsBareUse(info *types.Info, s *ast.AssignStmt, obj types.Object) bool {
+	for _, r := range s.Rhs {
+		if bareUse(info, r, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// viewMutationTarget: l writes through the view (v[i] = ..., v[a:b]).
+func viewMutationTarget(info *types.Info, l ast.Expr, obj types.Object) bool {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.IndexExpr:
+		return rootObj(info, l.X) == obj
+	case *ast.SliceExpr:
+		return rootObj(info, l.X) == obj
+	}
+	return false
+}
+
+// checkViewInCall flags append(dst, v) — storing the view header — and
+// copy(v, src) — writing through the view. append(dst, v...) copies
+// bytes out and copy(dst, v) copies bytes out; both are the sanctioned
+// idiom.
+func checkViewInCall(pass *Pass, info *types.Info, name string, call *ast.CallExpr, obj types.Object) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok {
+		return
+	}
+	switch b.Name() {
+	case "append":
+		// call.Ellipsis covers the final argument only; any earlier
+		// bare view argument is a slice-of-slices store.
+		for i, a := range call.Args {
+			if i == 0 {
+				continue // the destination
+			}
+			aid, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok || info.ObjectOf(aid) != obj {
+				continue
+			}
+			if i == len(call.Args)-1 && call.Ellipsis.IsValid() {
+				continue // append(dst, v...) copies the bytes
+			}
+			pass.Reportf(a.Pos(), "%s: mmap view %s appended as a slice header; use append(dst, %s...) to copy", name, obj.Name(), obj.Name())
+		}
+	case "copy":
+		if len(call.Args) == 2 {
+			if aid, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.ObjectOf(aid) == obj {
+				pass.Reportf(call.Args[0].Pos(), "%s: copy writes into mmap view %s; views are read-only", name, obj.Name())
+			}
+		}
+	}
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -176,6 +176,7 @@ func AsSearcher(r Reader) (Searcher, bool) {
 // and the caller should fall back to GetAppend; err is only meaningful
 // when ok is true.
 type Viewer interface {
+	//rlz:view callback
 	View(id int, fn func(doc []byte) error) (ok bool, err error)
 }
 
@@ -369,18 +370,18 @@ func Open(path string) (Reader, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if len(pathRegistry) > 0 && st.Size() >= 4 {
 		var magic [4]byte
 		if _, err := f.ReadAt(magic[:], 0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("archive: reading magic: %w", err)
 		}
 		for _, e := range pathRegistry {
 			if string(magic[:]) == e.magic {
-				f.Close()
+				_ = f.Close()
 				return e.open(path)
 			}
 		}
@@ -394,15 +395,15 @@ func Open(path string) (Reader, error) {
 	if m, err := mmapio.Map(f, st.Size()); err == nil {
 		rd, err := OpenReaderAt(m, st.Size())
 		if err != nil {
-			m.Close()
-			f.Close()
+			_ = m.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		return &fileReader{Reader: rd, f: f, m: m}, nil
 	}
 	rd, err := OpenReaderAt(f, st.Size())
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return &fileReader{Reader: rd, f: f}, nil

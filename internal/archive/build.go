@@ -137,9 +137,9 @@ func Build(w io.Writer, src DocSource, opts Options) (BuildResult, error) {
 		// Failed builds still close the writer so backend pipelines
 		// drain their goroutines; the archive bytes are garbage either
 		// way (Create deletes the file).
-		aw.Close()
+		_ = aw.Close()
 		if c, ok := src.(io.Closer); ok {
-			c.Close()
+			_ = c.Close()
 		}
 		return res, err
 	}
@@ -231,7 +231,7 @@ func Create(path string, src DocSource, opts Options) (BuildResult, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(path)
+		_ = os.Remove(path)
 		return res, err
 	}
 	return res, nil

@@ -117,7 +117,7 @@ func (s *warcSource) Next() (Doc, error) {
 	rec, err := s.r.Read()
 	if err != nil {
 		s.done = true
-		s.f.Close()
+		_ = s.f.Close()
 		return Doc{}, err
 	}
 	return Doc{Name: rec.URL, Body: rec.Body}, nil
@@ -186,7 +186,7 @@ func SampleDict(openSrc func() (DocSource, error), dictSize, sampleSize int) ([]
 		}
 		if err != nil {
 			if c, ok := src.(io.Closer); ok {
-				c.Close()
+				_ = c.Close()
 			}
 			return nil, 0, err
 		}
@@ -202,7 +202,7 @@ func measure(src DocSource) (int64, error) {
 	if ts, ok := src.(TotalSizer); ok {
 		total, err := ts.TotalSize()
 		if c, ok := src.(io.Closer); ok {
-			c.Close()
+			_ = c.Close()
 		}
 		return total, err
 	}
@@ -214,7 +214,7 @@ func measure(src DocSource) (int64, error) {
 		}
 		if err != nil {
 			if c, ok := src.(io.Closer); ok {
-				c.Close()
+				_ = c.Close()
 			}
 			return 0, err
 		}

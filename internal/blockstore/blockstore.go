@@ -414,12 +414,12 @@ func OpenFile(path string) (*Reader, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	rd, err := Open(f, st.Size())
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	rd.closer = f
@@ -455,10 +455,14 @@ func (r *Reader) Extent(id int) (off, n int64, err error) {
 // (internal/mmapio.Mapping satisfies it); duck-typed so this package
 // stays independent of how the caller produced its ReaderAt.
 type slicer interface {
+	//rlz:view
 	Slice(off, n int64) ([]byte, error)
 }
 
-// getBuf draws a scratch buffer from the reader's pool.
+// getBuf draws a scratch buffer from the reader's pool; the caller owns
+// it and must hand it back with r.bufs.Put.
+//
+//rlz:poolsafe hands the pooled buffer to the caller by design
 func (r *Reader) getBuf() *[]byte {
 	if b, ok := r.bufs.Get().(*[]byte); ok {
 		return b
@@ -471,6 +475,9 @@ func (r *Reader) getBuf() *[]byte {
 // internal cache, release is a no-op and the bytes must not be modified;
 // otherwise they live in a pooled buffer that release returns — callers
 // must copy what outlives the call, and must not call release twice.
+//
+//rlz:acquire release=closure
+//rlz:poolsafe the returned block lives in a pooled buffer until release runs
 func (r *Reader) decodeBlock(bi uint32) (block []byte, release func(), err error) {
 	noop := func() {}
 	if r.cache != nil {
@@ -533,6 +540,8 @@ func (r *Reader) decodeBlock(bi uint32) (block []byte, release func(), err error
 }
 
 // docFromBlock slices document id out of its decoded block.
+//
+//rlz:hotpath
 func (r *Reader) docFromBlock(block []byte, id int) ([]byte, error) {
 	loc := r.docs[id]
 	end := int(loc.offset) + int(loc.length)
@@ -676,7 +685,7 @@ func (r *Reader) GetBatch(ids []int, workers int, visit func(i int, doc []byte, 
 			break
 		}
 	}
-	pipe.Close()
+	_ = pipe.Close()
 }
 
 // Close releases the underlying file if the Reader owns one.

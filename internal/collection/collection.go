@@ -48,6 +48,8 @@ type Options struct {
 // view using them drains (not at Collection.Close): a long-running
 // daemon compacting continuously neither leaks descriptors nor pins
 // unlinked files' disk space.
+//
+//rlz:refcounted acquire=ref release=unref
 type resource struct {
 	c    io.Closer
 	refs atomic.Int64
@@ -64,7 +66,7 @@ func (r *resource) ref() { r.refs.Add(1) }
 
 func (r *resource) unref() {
 	if r.refs.Add(-1) == 0 {
-		r.c.Close()
+		_ = r.c.Close()
 	}
 }
 
@@ -74,6 +76,8 @@ func (r *resource) unref() {
 // current view with a reference count (two atomic ops), so a mutation
 // can publish a fresh view and the replaced resources close exactly
 // when their last in-flight reader finishes.
+//
+//rlz:refcounted acquire=tryRef release=unref
 type view struct {
 	gen     uint64
 	segs    []archive.Reader
@@ -117,6 +121,8 @@ func (v *view) unref() {
 
 // install activates v: one installed self-ref plus one resource ref per
 // referenced closable (released when the view later drains).
+//
+//rlz:unbalanced resource refs taken here are released by unref when the view drains
 func (v *view) install() {
 	v.refs.Store(1)
 	for _, r := range v.segRes {
@@ -153,8 +159,8 @@ type Collection struct {
 
 	mu         sync.Mutex // serializes all mutations and manifest publishes
 	man        *Manifest  // current manifest (guarded by mu)
-	compacting bool
-	closed     bool
+	compacting bool       // guarded by mu
+	closed     bool       // guarded by mu
 
 	view atomic.Pointer[view]
 
@@ -261,7 +267,7 @@ func openSegmentReader(dir, path string) (archive.Reader, error) {
 		return nil, err
 	}
 	_, rerr := io.ReadFull(f, magic[:])
-	f.Close()
+	_ = f.Close()
 	if rerr == nil && string(magic[:]) == headerMagic {
 		return nil, fmt.Errorf("%w: segment %q is itself a collection", ErrCorruptManifest, path)
 	}
@@ -280,7 +286,7 @@ func tombSet(ids []int) map[int]struct{} {
 // closeView closes the resources a partially constructed view holds.
 func (c *Collection) closeView(v *view) {
 	for _, sr := range v.segs {
-		sr.Close()
+		_ = sr.Close()
 	}
 	if v.open != nil {
 		v.open.closeFiles()
@@ -288,6 +294,7 @@ func (c *Collection) closeView(v *view) {
 }
 
 // cloneManifest deep-copies the current manifest for mutation.
+// Called with mu held.
 func (c *Collection) cloneManifest() *Manifest {
 	m := &Manifest{
 		Generation: c.man.Generation,
@@ -344,6 +351,8 @@ func (c *Collection) publishLocked(m *Manifest, v *view) error {
 // ref retries on the fresh view. After Close the current view is
 // drained for good; reads then get it unpinned (and fail on the closed
 // files — the documented post-Close behavior) instead of spinning.
+//
+//rlz:acquire release=closure
 func (c *Collection) acquireView() (*view, func()) {
 	for {
 		v := c.view.Load()
@@ -493,7 +502,7 @@ func (c *Collection) sealLocked() error {
 		return fmt.Errorf("collection: reopening sealed segment %s: %w", open.name, err)
 	}
 	if sr.NumDocs() != docs {
-		sr.Close()
+		_ = sr.Close()
 		return fmt.Errorf("collection: sealed segment %s holds %d documents, expected %d", open.name, sr.NumDocs(), docs)
 	}
 	m := c.cloneManifest()
@@ -510,12 +519,12 @@ func (c *Collection) sealLocked() error {
 	nv.open = nil
 	nv.openRes = nil
 	if err := c.publishLocked(m, nv); err != nil {
-		sr.Close()
+		_ = sr.Close()
 		return err
 	}
 	// The sidecar file is no longer needed at all (in-flight readers use
 	// the still-open handles, not the name).
-	os.Remove(filepath.Join(c.dir, lensName(open.name)))
+	_ = os.Remove(filepath.Join(c.dir, lensName(open.name)))
 	return nil
 }
 

@@ -113,7 +113,7 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 		name := segFileName(runs[i].seq)
 		if err := buildRunSegment(c.dir, name, &runs[i], tomb, aopts); err != nil {
 			for _, b := range built[:i] {
-				os.Remove(filepath.Join(c.dir, b))
+				_ = os.Remove(filepath.Join(c.dir, b))
 			}
 			return finish(err)
 		}
@@ -126,17 +126,17 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 	cleanup := func() {
 		for _, sr := range newReaders {
 			if sr != nil {
-				sr.Close()
+				_ = sr.Close()
 			}
 		}
 		for _, b := range built {
-			os.Remove(filepath.Join(c.dir, b))
+			_ = os.Remove(filepath.Join(c.dir, b))
 		}
 	}
 	for i := range runs {
 		sr, err := openSegmentReader(c.dir, built[i])
 		if err == nil && sr.NumDocs() != runs[i].docs {
-			sr.Close()
+			_ = sr.Close()
 			err = fmt.Errorf("collection: compacted segment %s holds %d documents, expected %d", built[i], sr.NumDocs(), runs[i].docs)
 		}
 		if err != nil {
@@ -201,7 +201,7 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 		// fsync) means the on-disk manifest may already reference them;
 		// deleting them would strand it. Unreferenced files are gc'd.
 		for _, sr := range newReaders {
-			sr.Close()
+			_ = sr.Close()
 		}
 		return res, err
 	}
@@ -213,8 +213,8 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 	// be mid-read on them: their readers stay open (retired) and POSIX
 	// keeps unlinked files readable, so removal is safe immediately.
 	for _, p := range superseded {
-		os.RemoveAll(filepath.Join(c.dir, p))
-		os.Remove(filepath.Join(c.dir, lensName(p)))
+		_ = os.RemoveAll(filepath.Join(c.dir, p))
+		_ = os.Remove(filepath.Join(c.dir, lensName(p)))
 	}
 	return res, nil
 }
@@ -295,7 +295,7 @@ func buildRunSegment(dir, name string, r *run, tomb map[int]struct{}, aopts arch
 	}
 	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
 	if err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	err = f.Sync()
@@ -303,11 +303,11 @@ func buildRunSegment(dir, name string, r *run, tomb map[int]struct{}, aopts arch
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return syncDir(dir)

@@ -49,7 +49,7 @@ type openSegment struct {
 	broken bool
 
 	mu      sync.RWMutex
-	offsets []int64 // len = count+1; offsets[0] == rawstore.HeaderSize
+	offsets []int64 // guarded by mu; len = count+1; offsets[0] == rawstore.HeaderSize
 
 	// mapping is the refcounted memory mapping of the data file's stable
 	// prefix, for zero-copy views. A mapping's length is fixed at map
@@ -69,6 +69,8 @@ const remapStep = 1 << 20
 // reference that drops the count to 0 unmaps. The CAS-guarded tryRef
 // means a retired, draining mapping cannot be resurrected — the same
 // discipline as the collection's view refs.
+//
+//rlz:refcounted acquire=tryRef release=unref
 type segMapping struct {
 	m    *mmapio.Mapping
 	refs atomic.Int64
@@ -88,7 +90,7 @@ func (sm *segMapping) tryRef() bool {
 
 func (sm *segMapping) unref() {
 	if sm.refs.Add(-1) == 0 {
-		sm.m.Close()
+		_ = sm.m.Close()
 	}
 }
 
@@ -162,19 +164,19 @@ func createOpenSegment(dir, name string, syncAppends bool) (*openSegment, error)
 	}
 	w, err := rawstore.NewWriter(f)
 	if err != nil {
-		f.Close()
-		os.Remove(filepath.Join(dir, name))
+		_ = f.Close()
+		_ = os.Remove(filepath.Join(dir, name))
 		return nil, err
 	}
 	lens, err := os.OpenFile(filepath.Join(dir, lensName(name)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		f.Close()
-		os.Remove(filepath.Join(dir, name))
+		_ = f.Close()
+		_ = os.Remove(filepath.Join(dir, name))
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		lens.Close()
+		_ = f.Close()
+		_ = lens.Close()
 		return nil, err
 	}
 	s := &openSegment{
@@ -205,7 +207,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 		// empty rather than refusing to open the collection. A stale
 		// sidecar without data describes nothing recoverable — drop it
 		// so the O_EXCL create succeeds.
-		os.Remove(filepath.Join(dir, lensName(name)))
+		_ = os.Remove(filepath.Join(dir, lensName(name)))
 		return createOpenSegment(dir, name, syncAppends)
 	}
 	if err != nil {
@@ -213,7 +215,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if st.Size() < rawstore.HeaderSize {
@@ -221,17 +223,17 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 		// so a shorter file means filesystem-level loss; rebuild the
 		// segment empty rather than resuming over a hole.
 		if err := rebuildEmpty(f, filepath.Join(dir, lensName(name))); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if st, err = f.Stat(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	raw, rerr := os.ReadFile(filepath.Join(dir, lensName(name)))
 	if rerr != nil && !os.IsNotExist(rerr) {
-		f.Close()
+		_ = f.Close()
 		return nil, rerr
 	}
 	// Parse the sidecar: keep every record whose document is fully on
@@ -262,7 +264,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 	// O_CREATE open below recreates it.
 	if rerr == nil {
 		if err := os.Truncate(filepath.Join(dir, lensName(name)), int64(keep)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
@@ -270,17 +272,17 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 	// sealed footer whose manifest swap never landed.
 	if st.Size() > end {
 		if err := f.Truncate(end); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	if _, err := f.Seek(end, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	lensf, err := os.OpenFile(filepath.Join(dir, lensName(name)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	s := &openSegment{
@@ -362,6 +364,8 @@ func (s *openSegment) size() int64 {
 }
 
 // extent returns the in-file extent of segment-local document id.
+//
+//rlz:hotpath
 func (s *openSegment) extent(local int) (off, n int64, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -372,6 +376,8 @@ func (s *openSegment) extent(local int) (off, n int64, err error) {
 }
 
 // get retrieves segment-local document id, appending its bytes to dst.
+//
+//rlz:hotpath
 func (s *openSegment) get(dst []byte, local int) ([]byte, error) {
 	off, n, err := s.extent(local)
 	if err != nil {

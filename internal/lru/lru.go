@@ -26,9 +26,9 @@ type Cache struct {
 	misses atomic.Int64
 
 	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recent; values are *entry
-	entries  map[uint64]*list.Element
+	capacity int                      // immutable after New; read lock-free by Capacity
+	order    *list.List               // guarded by mu; front = most recent; values are *entry
+	entries  map[uint64]*list.Element // guarded by mu
 }
 
 type entry struct {
@@ -52,6 +52,8 @@ func New(capacity int) *Cache {
 // Get returns the cached bytes for key, or nil on a miss. The returned
 // slice is cache-owned and read-only; its capacity is clamped to its
 // length so appending reallocates rather than mutating the cache.
+//
+//rlz:hotpath
 func (c *Cache) Get(key uint64) []byte {
 	c.mu.Lock()
 	el, ok := c.entries[key]

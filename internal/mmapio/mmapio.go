@@ -61,10 +61,15 @@ func Supported() bool { return supported }
 func (m *Mapping) Len() int64 { return int64(len(m.data)) }
 
 // Bytes returns the whole mapping. The slice is invalidated by Close.
+//
+//rlz:view
 func (m *Mapping) Bytes() []byte { return m.data }
 
 // Slice returns the sub-slice [off, off+n) of the mapping with no copy.
 // The slice is invalidated by Close.
+//
+//rlz:view
+//rlz:hotpath
 func (m *Mapping) Slice(off, n int64) ([]byte, error) {
 	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
 		return nil, fmt.Errorf("mmapio: slice [%d,%d) outside mapping of %d bytes", off, off+n, len(m.data))
@@ -73,6 +78,8 @@ func (m *Mapping) Slice(off, n int64) ([]byte, error) {
 }
 
 // ReadAt implements io.ReaderAt over the mapping: one copy, no syscall.
+//
+//rlz:hotpath
 func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("mmapio: negative offset %d", off)

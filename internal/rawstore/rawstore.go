@@ -183,12 +183,12 @@ func OpenFile(path string) (*Reader, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	rd, err := Open(f, st.Size())
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	rd.closer = f
@@ -211,6 +211,8 @@ func (r *Reader) Extent(id int) (off, n int64, err error) {
 }
 
 // GetAppend retrieves document id, appending its text to dst.
+//
+//rlz:hotpath
 func (r *Reader) GetAppend(dst []byte, id int) ([]byte, error) {
 	off, n, err := r.Extent(id)
 	if err != nil {
@@ -233,6 +235,7 @@ func (r *Reader) Get(id int) ([]byte, error) {
 // (internal/mmapio.Mapping satisfies it); duck-typed so this package
 // stays independent of how the caller produced its ReaderAt.
 type slicer interface {
+	//rlz:view
 	Slice(off, n int64) ([]byte, error)
 }
 
@@ -241,6 +244,8 @@ type slicer interface {
 // false when the archive was not opened over a mapping (fall back to
 // GetAppend). doc is a slice of the mapping: it is valid only during fn
 // and only for reading; fn copies whatever must outlive the call.
+//
+//rlz:view callback
 func (r *Reader) View(id int, fn func(doc []byte) error) (bool, error) {
 	s, ok := r.r.(slicer)
 	if !ok {

@@ -61,6 +61,8 @@ const epochCycle = 1 << (64 - epochShift)
 // Epoch bumps wrap the SAME handle in a new epochReader, so however many
 // epochs a reader serves under, it has exactly one refcount and closes
 // exactly once — after every request pinned on any of its epochs drains.
+//
+//rlz:refcounted acquire=tryRef release=unref
 type readerHandle struct {
 	r archive.Reader
 	// refs counts 1 for being installed plus 1 per in-flight request.
@@ -87,7 +89,7 @@ func (h *readerHandle) tryRef() bool {
 // unref drops a reference; the last one closes a swapped-out reader.
 func (h *readerHandle) unref() {
 	if h.refs.Add(-1) == 0 && h.closeOnDrain.Load() {
-		h.r.Close()
+		_ = h.r.Close()
 	}
 }
 
@@ -154,6 +156,8 @@ func New(r archive.Reader, opts Options) *Server {
 // epochReader's epoch may be one bump stale by the time it is used —
 // that is the intended linearization (the request began before the
 // bump), and its cache writes land under the dead epoch's key.
+//
+//rlz:acquire release=unref
 func (s *Server) acquire() *epochReader {
 	for {
 		e := s.cur.Load()

@@ -59,17 +59,17 @@ func Open(path string) (archive.Reader, error) {
 	for i, s := range m.Shards {
 		sr, err := openShardFile(filepath.Join(dir, s.Path), r)
 		if err != nil {
-			r.Close()
+			_ = r.Close()
 			return nil, fmt.Errorf("shard %d (%s): %w", i, s.Path, err)
 		}
 		r.rs = append(r.rs, sr)
 		if st := sr.Stats(); st.Backend != m.Backend {
-			r.Close()
+			_ = r.Close()
 			return nil, fmt.Errorf("%w: shard %d (%s) is %s, manifest says %s",
 				ErrCorruptManifest, i, s.Path, st.Backend, m.Backend)
 		}
 		if sr.NumDocs() != s.Docs {
-			r.Close()
+			_ = r.Close()
 			return nil, fmt.Errorf("%w: shard %d (%s) holds %d documents, manifest says %d",
 				ErrCorruptManifest, i, s.Path, sr.NumDocs(), s.Docs)
 		}
@@ -94,12 +94,12 @@ func openShardFile(path string, r *Reader) (archive.Reader, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	sr, err := archive.OpenReaderAt(f, st.Size())
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	r.files = append(r.files, f)

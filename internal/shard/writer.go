@@ -164,10 +164,10 @@ func NewWriter(dir string, opts Options) (*Writer, error) {
 // overwritten, so a surviving stale manifest would misdescribe garbage.
 func removeSet(dir string, n int) {
 	for i := 0; i < n; i++ {
-		os.Remove(filepath.Join(dir, ShardFileName(i)))
+		_ = os.Remove(filepath.Join(dir, ShardFileName(i)))
 	}
-	os.Remove(filepath.Join(dir, ManifestName))
-	os.Remove(dir) // fails (and is ignored) unless that left it empty
+	_ = os.Remove(filepath.Join(dir, ManifestName))
+	_ = os.Remove(dir) // fails (and is ignored) unless that left it empty
 }
 
 // clearStaleSet removes a previous build's manifest and the shard files
@@ -179,10 +179,10 @@ func clearStaleSet(dir string) {
 	mpath := filepath.Join(dir, ManifestName)
 	if m, err := ReadManifest(mpath); err == nil {
 		for _, s := range m.Shards {
-			os.Remove(filepath.Join(dir, s.Path))
+			_ = os.Remove(filepath.Join(dir, s.Path))
 		}
 	}
-	os.Remove(mpath)
+	_ = os.Remove(mpath)
 }
 
 // abort releases every open backend writer and file and removes the
@@ -192,12 +192,12 @@ func clearStaleSet(dir string) {
 func (w *Writer) abort() {
 	for _, aw := range w.ws {
 		if aw != nil {
-			aw.Close()
+			_ = aw.Close()
 		}
 	}
 	for _, f := range w.files {
 		if f != nil {
-			f.Close()
+			_ = f.Close()
 		}
 	}
 	removeSet(w.dir, len(w.files))
@@ -396,6 +396,6 @@ func RemoveArchive(dir string) error {
 	if err := os.Remove(mpath); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	os.Remove(dir) // fails (and is ignored) unless empty
+	_ = os.Remove(dir) // fails (and is ignored) unless empty
 	return firstErr
 }

@@ -334,12 +334,12 @@ func OpenFile(path string) (*Reader, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	rd, err := Open(f, st.Size())
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	rd.closer = f

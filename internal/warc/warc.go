@@ -167,12 +167,12 @@ func WriteFile(path string, recs []Record) error {
 	w := NewWriter(f)
 	for _, rec := range recs {
 		if err := w.Write(rec); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
