@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"rlz/internal/analysis"
+)
+
+// TestPrintJSON pins the machine-readable finding shape CI consumes:
+// flat objects with file/line/col/analyzer/message, and an empty array
+// (never null) when there are no findings.
+func TestPrintJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var empty []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatalf("no-findings output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Fatalf("no-findings output = %q, want []", buf.String())
+	}
+
+	buf.Reset()
+	findings := []analysis.Finding{{
+		Analyzer: "alloccap",
+		Pos:      token.Position{Filename: "internal/warc/warc.go", Line: 116, Column: 23},
+		Message:  "allocation size decoded from untrusted input reaches make without a clamp",
+	}}
+	if err := printJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := jsonFinding{
+		File: "internal/warc/warc.go", Line: 116, Col: 23,
+		Analyzer: "alloccap",
+		Message:  "allocation size decoded from untrusted input reaches make without a clamp",
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %+v, want [%+v]", got, want)
+	}
+}

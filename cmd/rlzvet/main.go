@@ -1,14 +1,20 @@
 // Command rlzvet runs the repository's invariant analyzers (refpair,
-// poolescape, zerocopy, lockguard, hotalloc, errclose) over Go
-// packages. It works two ways:
+// poolescape, zerocopy, lockguard, hotalloc, errclose, alloccap,
+// fsyncorder, atomicmix) over Go packages. It works two ways:
 //
-//	rlzvet ./...                      standalone, like a focused vet
+//	rlzvet [-json] ./...              standalone, like a focused vet
 //	go vet -vettool=$(which rlzvet) ./...   as the go vet backend
 //
 // In vettool mode it speaks the go vet unit-checker protocol: the go
 // command hands it one package at a time as a JSON config file,
-// annotation facts flow between packages as gob files next to the
-// build cache, and results are cached like any other vet run.
+// facts flow between packages as gob files next to the build cache —
+// the annotation index plus the interprocedural function summaries the
+// alloccap/fsyncorder/atomicmix analyzers consume — and results are
+// cached like any other vet run.
+//
+// With -json, standalone mode prints findings as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout instead of the
+// vet-style lines on stderr; CI turns these into source annotations.
 package main
 
 import (
@@ -47,7 +53,16 @@ func main() {
 		printHelp()
 		return
 	}
-	os.Exit(standalone(args))
+	asJSON := false
+	patterns := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	os.Exit(standalone(patterns, asJSON))
 }
 
 func printHelp() {
@@ -55,7 +70,7 @@ func printHelp() {
 	for _, a := range analysis.Analyzers() {
 		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
 	}
-	fmt.Println("\nUsage: rlzvet [packages]   (default ./...)")
+	fmt.Println("\nUsage: rlzvet [-json] [packages]   (default ./...)")
 	fmt.Println("   or: go vet -vettool=$(which rlzvet) [packages]")
 }
 
@@ -73,9 +88,10 @@ func printVersion() {
 	fmt.Printf("rlzvet version devel buildID=%x\n", h.Sum(nil)[:16])
 }
 
-// standalone loads, collects annotations across every matched package,
-// and runs the full suite, printing findings to stderr.
-func standalone(patterns []string) int {
+// standalone loads, collects annotations and interprocedural summaries
+// across every matched package, and runs the full suite, printing
+// findings to stderr (or a JSON array on stdout with -json).
+func standalone(patterns []string, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -89,6 +105,11 @@ func standalone(patterns []string) int {
 	for _, p := range pkgs {
 		findings = append(findings, analysis.CollectAnnotations(p.Fset, p.ImportPath, p.Files, idx)...)
 	}
+	// go list -deps order is dependencies-first, so by the time a
+	// package's summaries are computed its callees' are already in idx.
+	for _, p := range pkgs {
+		analysis.ComputeSummaries(p, idx)
+	}
 	for _, p := range pkgs {
 		fs, err := analysis.RunAnalyzers(p, analysis.Analyzers(), idx)
 		if err != nil {
@@ -97,13 +118,55 @@ func standalone(patterns []string) int {
 		}
 		findings = append(findings, fs...)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	if asJSON {
+		if err := printJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "rlzvet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
 	}
 	if len(findings) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable shape -json emits, one object per
+// finding. Kept flat and lower-case so CI shell can consume it with any
+// JSON tool.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(w io.Writer, findings []analysis.Finding) error {
+	cwd, _ := os.Getwd()
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		// Repo-relative paths so CI annotations land on diff lines.
+		if cwd != "" && filepath.IsAbs(file) {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, jsonFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // vetConfig is the subset of the go command's unit-checker config this
@@ -194,6 +257,10 @@ func unitchecker(cfgFile string) int {
 		Types:      tpkg,
 		Info:       info,
 	}
+	// Summaries for this package build on the deps' summaries already in
+	// merged (the go command schedules dependencies first); the package's
+	// own facts join the vetx export so dependents see them.
+	own.Merge(analysis.ComputeSummaries(pkg, merged))
 	findings, err := analysis.RunAnalyzers(pkg, analysis.Analyzers(), merged)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rlzvet:", err)

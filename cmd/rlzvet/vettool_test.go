@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolCrossPackageFacts drives the real `go vet -vettool`
+// protocol end to end: a scratch module with a dep package that decodes
+// and clamps a size and an app package that allocates from it. With the
+// clamp in place the run is silent — the fact that dep's result is
+// clean travels to app's compilation unit as a gob vetx file. With the
+// clamp removed, the same allocation is flagged. That asymmetry is the
+// proof that facts actually flow between units, not just within one
+// standalone load.
+func TestVettoolCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet twice")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+
+	tool := filepath.Join(t.TempDir(), "rlzvet")
+	build := exec.Command(goTool, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rlzvet: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vettoolcheck\n\ngo 1.24\n")
+	write("dep/dep.go", `package dep
+
+import "encoding/binary"
+
+func DecodeSize(src []byte) (int, bool) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 || v > uint64(len(src)-n) {
+		return 0, false
+	}
+	return int(v), true
+}
+`)
+	write("app/app.go", `package app
+
+import "vettoolcheck/dep"
+
+func Build(src []byte) []byte {
+	n, ok := dep.DecodeSize(src)
+	if !ok {
+		return nil
+	}
+	return make([]byte, n)
+}
+`)
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		return out.String(), err
+	}
+
+	if out, err := vet(); err != nil {
+		t.Fatalf("clamped dep: go vet failed:\n%s", out)
+	}
+
+	// Remove the clamp in dep; only the dep package's source changes,
+	// but the finding must appear in app — via the updated vetx facts.
+	write("dep/dep.go", `package dep
+
+import "encoding/binary"
+
+func DecodeSize(src []byte) (int, bool) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, false
+	}
+	return int(v), true
+}
+`)
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("unclamped dep: go vet succeeded, want alloccap finding")
+	}
+	if !strings.Contains(out, "alloccap") || !strings.Contains(out, filepath.Join("app", "app.go")) {
+		t.Fatalf("unclamped dep: findings missing alloccap report in app:\n%s", out)
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocCap enforces the repository's untrusted-size discipline: a size
+// decoded from raw input bytes (encoding/binary decoders, functions
+// annotated //rlz:untrusted, or any function whose interprocedural
+// summary returns such a value unclamped) must be clamped against a
+// trusted bound before it reaches an allocation — a make length or
+// capacity, directly or through a callee whose summary says the
+// parameter allocates. A clamp is a relational comparison against a
+// bounding expression in an if condition, the min builtin, or % / &
+// with a bounding operand; a constant bound above maxConstClamp does
+// not count (see the taint model in summary.go). //rlz:trusted on the
+// function or on the allocation's line acknowledges a site the
+// analysis cannot see is safe — the reason is mandatory.
+//
+// This is the machine check for the repo's two worst historical
+// defects: the docmap 8x preallocation amplification (PR 3) and the
+// zlib decompression bomb (PR 5), both "decoded length flows unclamped
+// into make".
+var AllocCap = &Analyzer{
+	Name: "alloccap",
+	Doc:  "check that sizes decoded from untrusted input are clamped before they reach an allocation",
+	Run:  runAllocCap,
+}
+
+func runAllocCap(pass *Pass) error {
+	for _, f := range pass.Files {
+		trusted := trustedLines(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			var entry *Entry
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				name = funcTitle(obj)
+				entry = pass.Ann.Lookup(FuncKey(obj))
+			}
+			if entry != nil && entry.Trusted {
+				continue
+			}
+			sc := newTaintScope(pass.Info, pass.Ann, fd, nil)
+			sc.allocSites(func(pos token.Pos, viaCallee *types.Func, paramIdx int) {
+				line := pass.Fset.Position(pos).Line
+				if trusted[line] {
+					return
+				}
+				if viaCallee != nil {
+					pass.Reportf(pos, "%s: untrusted decoded size flows to %s, which allocates from parameter %d without a clamp; clamp it against a trusted bound or acknowledge with //rlz:trusted",
+						name, fnDisplay(viaCallee), paramIdx)
+				} else {
+					pass.Reportf(pos, "%s: allocation size decoded from untrusted input reaches make without a clamp; bound it by the input actually available or acknowledge with //rlz:trusted",
+						name)
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// trustedLines collects the lines acknowledged by a //rlz:trusted line
+// comment in f. The acknowledgment covers its own line (trailing
+// comment) and the next one (comment above the allocation). Reasonless
+// directives are findings, not acknowledgments — declaration-level
+// directives are validated by CollectAnnotations; this handles the
+// statement-level ones inside function bodies.
+func trustedLines(pass *Pass, f *ast.File) map[int]bool {
+	var bodies []*ast.BlockStmt
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			bodies = append(bodies, fd.Body)
+		}
+	}
+	inBody := func(pos token.Pos) bool {
+		for _, b := range bodies {
+			if b.Pos() <= pos && pos <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+	out := map[int]bool{}
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if !strings.HasPrefix(c.Text, "//rlz:trusted") || !inBody(c.Pos()) {
+				continue
+			}
+			verb, args := splitDirective(c.Text)
+			if verb != "trusted" {
+				continue
+			}
+			if len(args) == 0 {
+				pass.Reportf(c.Pos(), "//rlz:trusted needs a reason")
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			out[line] = true
+			out[line+1] = true
+		}
+	}
+	return out
+}

@@ -1,10 +1,20 @@
 // Package analysis is this repository's static-analysis framework: a
 // stdlib-only equivalent of golang.org/x/tools/go/analysis (which the
-// build environment cannot fetch) plus the five analyzers that enforce
+// build environment cannot fetch) plus the nine analyzers that enforce
 // the serving stack's hand-maintained invariants — refcount pairing
 // (refpair), pooled-buffer discipline (poolescape), borrowed mmap views
 // (zerocopy), mutex-guarded fields (lockguard), allocation-free hot
-// paths (hotalloc) — and errclose, the unchecked-Close/Remove check.
+// paths (hotalloc), errclose (the unchecked-Close/Remove check) — and,
+// since the interprocedural layer landed, alloccap (untrusted decoded
+// sizes must be clamped before allocation), fsyncorder (//rlz:publishes
+// functions must fsync before os.Rename on every path), and atomicmix
+// (no mixed atomic/plain access to a field).
+//
+// The interprocedural analyzers consume per-function summaries (see
+// summary.go) computed over a per-package call graph (callgraph.go) and
+// shipped across package boundaries in the same gob fact files the
+// annotation index already uses, so a clamp or an fsync inside a callee
+// in another package satisfies the caller's obligation.
 //
 // The analyzers are annotation-driven: types and functions opt into an
 // invariant with an //rlz: comment (see annotate.go for the grammar),
@@ -70,6 +80,9 @@ func Analyzers() []*Analyzer {
 		LockGuard,
 		HotAlloc,
 		ErrClose,
+		AllocCap,
+		FsyncOrder,
+		AtomicMix,
 	}
 }
 

@@ -1,11 +1,18 @@
-// Package analysistest runs one analyzer over a fixture package and
-// compares its findings against the fixture's own expectations,
-// mirroring golang.org/x/tools/go/analysis/analysistest for this
-// repository's stdlib-only framework.
+// Package analysistest runs one analyzer over a fixture and compares
+// its findings against the fixture's own expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for this repository's
+// stdlib-only framework.
 //
 // A fixture is a directory of .go files (conventionally under
-// internal/analysis/testdata/src/<analyzer>). Expected findings are
-// declared in comments on the offending line:
+// internal/analysis/testdata/src/<analyzer>), or — for the
+// interprocedural analyzers — a directory of subdirectories, each one
+// package, importable from each other as
+// rlz/fixture/<fixture>/<subdir>. Packages are type-checked in
+// dependency order and share one fact index, so a clamp or an fsync in
+// one fixture package satisfies an obligation in another, exactly as
+// facts flow between real packages.
+//
+// Expected findings are declared in comments on the offending line:
 //
 //	v.tryRef() // want `must be used directly in an if condition`
 //
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"go/importer"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -32,6 +40,10 @@ import (
 
 	"rlz/internal/analysis"
 )
+
+// fixturePrefix is the import-path namespace fixture packages live in;
+// sub-package fixtures import each other under it.
+const fixturePrefix = "rlz/fixture/"
 
 // expectation is one want pattern, anchored to a file line.
 type expectation struct {
@@ -44,40 +56,42 @@ type expectation struct {
 
 var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 
-// Run applies analyzer a to the fixture package in dir and reports any
-// mismatch between its findings and the fixture's want comments as test
-// errors.
+// Run applies analyzer a to the fixture in dir (one package, or one
+// package per subdirectory) and reports any mismatch between its
+// findings and the fixture's want comments as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
-	findings, pkg, err := analyze(a, dir)
+	findings, pkgs, err := analyze(a, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		fname := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
-		for _, g := range f.Comments {
-			for _, c := range g.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
-					continue
-				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				for _, m := range wantArgRe.FindAllStringSubmatch(text[len("want "):], -1) {
-					src := m[1]
-					if m[2] != "" || src == "" {
-						var uerr error
-						src, uerr = strconv.Unquote(`"` + m[2] + `"`)
-						if uerr != nil {
-							t.Fatalf("%s:%d: bad want pattern %q: %v", fname, line, m[2], uerr)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fname := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					for _, m := range wantArgRe.FindAllStringSubmatch(text[len("want "):], -1) {
+						src := m[1]
+						if m[2] != "" || src == "" {
+							var uerr error
+							src, uerr = strconv.Unquote(`"` + m[2] + `"`)
+							if uerr != nil {
+								t.Fatalf("%s:%d: bad want pattern %q: %v", fname, line, m[2], uerr)
+							}
 						}
+						re, rerr := regexp.Compile(src)
+						if rerr != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, src, rerr)
+						}
+						wants = append(wants, &expectation{file: fname, line: line, re: re, src: src})
 					}
-					re, rerr := regexp.Compile(src)
-					if rerr != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, src, rerr)
-					}
-					wants = append(wants, &expectation{file: fname, line: line, re: re, src: src})
 				}
 			}
 		}
@@ -104,13 +118,182 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 }
 
-// analyze parses, type-checks, and runs a over the fixture in dir.
-// Fixture imports are restricted to the standard library, satisfied as
-// export data from the build cache.
-func analyze(a *analysis.Analyzer, dir string) ([]analysis.Finding, *analysis.Package, error) {
+// fixtureImporter satisfies fixture-to-fixture imports from the already
+// type-checked packages and everything else from stdlib export data.
+type fixtureImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.pkgs[path]; ok {
+		return p, nil
+	}
+	return i.std.Import(path)
+}
+
+// unit is one fixture package before type-checking.
+type unit struct {
+	path    string // import path under fixturePrefix
+	dir     string
+	names   []string
+	imports []string // fixture-internal imports, as import paths
+}
+
+// analyze parses, type-checks (in dependency order), computes summaries
+// for, and runs a over the fixture in dir. Non-fixture imports are
+// restricted to the standard library, satisfied as export data from the
+// build cache.
+func analyze(a *analysis.Analyzer, dir string) ([]analysis.Finding, []*analysis.Package, error) {
+	units, stdImports, err := discover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports, err := analysis.ListExports(dir, stdImports...)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := &fixtureImporter{
+		std:  importer.ForCompiler(fset, "gc", analysis.ExportLookup(exports)),
+		pkgs: map[string]*types.Package{},
+	}
+
+	// Type-check in dependency order: each round admits the units whose
+	// fixture-internal imports are already done. Shared annotation index
+	// and summaries give the cross-package fact flow.
+	idx := analysis.NewIndex()
+	var findings []analysis.Finding
+	var pkgs []*analysis.Package
+	for len(units) > 0 {
+		progressed := false
+		var remaining []*unit
+		for _, u := range units {
+			ready := true
+			for _, dep := range u.imports {
+				if _, ok := imp.pkgs[dep]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				remaining = append(remaining, u)
+				continue
+			}
+			progressed = true
+			files, err := analysis.ParseFiles(fset, u.dir, u.names)
+			if err != nil {
+				return nil, nil, err
+			}
+			tpkg, info, err := analysis.TypeCheck(fset, imp, u.path, files)
+			if err != nil {
+				return nil, nil, fmt.Errorf("type-checking fixture %s: %v", u.dir, err)
+			}
+			imp.pkgs[u.path] = tpkg
+			findings = append(findings, analysis.CollectAnnotations(fset, u.path, files, idx)...)
+			pkg := &analysis.Package{
+				ImportPath: u.path,
+				Dir:        u.dir,
+				GoFiles:    u.names,
+				Fset:       fset,
+				Files:      files,
+				Types:      tpkg,
+				Info:       info,
+			}
+			analysis.ComputeSummaries(pkg, idx)
+			pkgs = append(pkgs, pkg)
+		}
+		if !progressed {
+			var stuck []string
+			for _, u := range units {
+				stuck = append(stuck, u.path)
+			}
+			return nil, nil, fmt.Errorf("fixture import cycle or missing package among %v", stuck)
+		}
+		units = remaining
+	}
+
+	for _, pkg := range pkgs {
+		more, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		findings = append(findings, more...)
+	}
+	return findings, pkgs, nil
+}
+
+// discover maps dir onto fixture units: either the directory itself as
+// one package, or one unit per .go-bearing subdirectory. It also
+// returns the sorted union of non-fixture imports.
+func discover(dir string) ([]*unit, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
+	}
+	base := filepath.Base(dir)
+	var units []*unit
+	var rootNames []string
+	for _, e := range entries {
+		if e.IsDir() {
+			sub := filepath.Join(dir, e.Name())
+			names, err := goFiles(sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(names) > 0 {
+				units = append(units, &unit{
+					path:  fixturePrefix + base + "/" + e.Name(),
+					dir:   sub,
+					names: names,
+				})
+			}
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".go") {
+			rootNames = append(rootNames, e.Name())
+		}
+	}
+	if len(rootNames) > 0 {
+		sort.Strings(rootNames)
+		units = append(units, &unit{path: fixturePrefix + base, dir: dir, names: rootNames})
+	}
+	if len(units) == 0 {
+		return nil, nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+
+	seen := map[string]bool{}
+	var std []string
+	for _, u := range units {
+		fset := token.NewFileSet()
+		files, err := analysis.ParseFiles(fset, u.dir, u.names)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, f := range files {
+			for _, im := range f.Imports {
+				path, _ := strconv.Unquote(im.Path.Value)
+				switch {
+				case path == "" || path == "unsafe" || seen[path]:
+				case strings.HasPrefix(path, fixturePrefix):
+					u.imports = append(u.imports, path)
+				default:
+					seen[path] = true
+					std = append(std, path)
+				}
+			}
+		}
+	}
+	sort.Strings(std)
+	return units, std, nil
+}
+
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
 	}
 	var names []string
 	for _, e := range entries {
@@ -119,54 +302,5 @@ func analyze(a *analysis.Analyzer, dir string) ([]analysis.Finding, *analysis.Pa
 		}
 	}
 	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, nil, fmt.Errorf("no fixture files in %s", dir)
-	}
-
-	fset := token.NewFileSet()
-	files, err := analysis.ParseFiles(fset, dir, names)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	seen := map[string]bool{}
-	var imports []string
-	for _, f := range files {
-		for _, im := range f.Imports {
-			path, _ := strconv.Unquote(im.Path.Value)
-			if path != "" && path != "unsafe" && !seen[path] {
-				seen[path] = true
-				imports = append(imports, path)
-			}
-		}
-	}
-	sort.Strings(imports)
-	exports, err := analysis.ListExports(dir, imports...)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	pkgPath := "rlz/fixture/" + filepath.Base(dir)
-	imp := importer.ForCompiler(fset, "gc", analysis.ExportLookup(exports))
-	tpkg, info, err := analysis.TypeCheck(fset, imp, pkgPath, files)
-	if err != nil {
-		return nil, nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
-	}
-
-	idx := analysis.NewIndex()
-	findings := analysis.CollectAnnotations(fset, pkgPath, files, idx)
-	pkg := &analysis.Package{
-		ImportPath: pkgPath,
-		Dir:        dir,
-		GoFiles:    names,
-		Fset:       fset,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
-	}
-	more, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, idx)
-	if err != nil {
-		return nil, nil, err
-	}
-	return append(findings, more...), pkg, nil
+	return names, nil
 }

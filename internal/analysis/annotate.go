@@ -39,6 +39,16 @@ import (
 //	        (return/panic) positions.
 //	//rlz:locked <mu>                      on a func: contract that the
 //	        caller holds <mu>; prose "Called with <mu> held." works too.
+//	//rlz:publishes                        on a func: it atomically
+//	        publishes a file — fsyncorder verifies every path that
+//	        reaches its os.Rename fsyncs the data first and handles the
+//	        rename error.
+//	//rlz:trusted <reason>                 on a func, or as a line
+//	        comment on an allocation statement: alloccap accepts the
+//	        decoded size without a clamp. The reason is mandatory.
+//	//rlz:untrusted                        on a func: its integer
+//	        results decode raw input bytes — alloccap treats them as
+//	        taint sources, like encoding/binary's decoders.
 //
 // Struct fields are annotated in prose: a field whose doc or line
 // comment contains "guarded by <mu>" is checked by lockguard.
@@ -63,6 +73,10 @@ type Entry struct {
 
 	HotPath bool
 
+	Publishes bool
+	Trusted   bool
+	Untrusted bool // integer results decode untrusted input (taint sources)
+
 	LockedWith []string // mutex names the caller must hold
 
 	GuardedBy string // fields only: the guarding mutex's field name
@@ -75,14 +89,29 @@ type Entry struct {
 //	methods            pkgpath.RecvType.Name (interface methods too)
 //	struct fields      pkgpath.StructType.Field
 //
-// The gob encoding of the map is what cmd/rlzvet writes as its vetx
-// facts file in -vettool mode.
+// Beyond the syntactic annotations, the index carries the computed
+// interprocedural facts: per-function dataflow summaries (Summaries,
+// see summary.go) and the set of struct fields accessed through
+// sync/atomic anywhere (AtomicFields). The gob encoding of the whole
+// struct is what cmd/rlzvet writes as its vetx facts file in -vettool
+// mode, so all three kinds of facts flow across package boundaries.
 type Index struct {
 	Entries map[string]*Entry
+	// Summaries maps FuncKey to the function's dataflow summary.
+	Summaries map[string]*FuncSummary
+	// AtomicFields maps FieldKey to true for every struct field that
+	// some package accesses through sync/atomic operations.
+	AtomicFields map[string]bool
 }
 
 // NewIndex returns an empty index.
-func NewIndex() *Index { return &Index{Entries: map[string]*Entry{}} }
+func NewIndex() *Index {
+	return &Index{
+		Entries:      map[string]*Entry{},
+		Summaries:    map[string]*FuncSummary{},
+		AtomicFields: map[string]bool{},
+	}
+}
 
 // Merge copies other's entries into i (dep facts into the current
 // package's view).
@@ -90,6 +119,20 @@ func (i *Index) Merge(other *Index) {
 	for k, v := range other.Entries {
 		i.Entries[k] = v
 	}
+	for k, v := range other.Summaries {
+		i.Summaries[k] = v
+	}
+	for k := range other.AtomicFields {
+		i.AtomicFields[k] = true
+	}
+}
+
+// Summary returns the dataflow summary for key, or nil.
+func (i *Index) Summary(key string) *FuncSummary {
+	if i == nil {
+		return nil
+	}
+	return i.Summaries[key]
 }
 
 func (i *Index) entry(key string) *Entry {
@@ -316,6 +359,24 @@ func collectFuncDirectives(pkgPath, key string, doc *ast.CommentGroup, idx *Inde
 			}
 		case "hotpath":
 			idx.entry(key).HotPath = true
+		case "publishes":
+			if len(args) != 0 {
+				report(c.Pos(), "malformed directive %q (want //rlz:publishes with no arguments)", c.Text)
+				continue
+			}
+			idx.entry(key).Publishes = true
+		case "trusted":
+			if len(args) == 0 {
+				report(c.Pos(), "//rlz:trusted needs a reason")
+				continue
+			}
+			idx.entry(key).Trusted = true
+		case "untrusted":
+			if len(args) != 0 {
+				report(c.Pos(), "malformed directive %q (want //rlz:untrusted with no arguments)", c.Text)
+				continue
+			}
+			idx.entry(key).Untrusted = true
 		case "locked":
 			if len(args) != 1 {
 				report(c.Pos(), "malformed directive %q (want //rlz:locked mu)", c.Text)

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces access-mode consistency for atomically-used struct
+// fields. A field that is passed by address to a sync/atomic function
+// anywhere in the program (the fact is interprocedural: collected per
+// package and shipped through vetx) must never be plainly read or
+// written elsewhere — a mixed-mode access is a data race even when each
+// side "looks" safe in isolation. Exemptions, in order of checking:
+//
+//   - the access is itself inside a sync/atomic call's arguments;
+//   - the receiver was freshly constructed in this function (composite
+//     literal or new) and is therefore unshared;
+//   - the field is annotated `guarded by mu` and this function holds mu
+//     (lock call or //rlz:locked contract) — the plain-init-under-lock
+//     pattern, where the mutex orders the plain access against every
+//     atomic one.
+//
+// It also flags typed sync/atomic fields (atomic.Int64, atomic.Pointer,
+// atomic.Value, ...) used as plain values: copying one smuggles its
+// state out of the synchronization domain, so the only legal uses are
+// calling a method on it or taking its address.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "check that atomically-accessed fields are never plainly read or written",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAtomicMixFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkAtomicMixFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	name := fd.Name.Name
+	var contract []string
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		name = funcTitle(obj)
+		if e := pass.Ann.Lookup(FuncKey(obj)); e != nil {
+			contract = e.LockedWith
+		}
+	}
+
+	// Selections inside a sync/atomic call's arguments are the atomic
+	// accesses themselves, not mixed-mode ones.
+	inAtomicArg := map[*ast.SelectorExpr]bool{}
+	// Same lock and freshness evidence lockguard uses (flow-insensitive).
+	lockedMus := map[string]bool{}
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				for _, a := range n.Args {
+					ast.Inspect(a, func(m ast.Node) bool {
+						if sel, ok := m.(*ast.SelectorExpr); ok {
+							inAtomicArg[sel] = true
+						}
+						return true
+					})
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+						lockedMus[inner.Sel.Name] = true
+					} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						lockedMus[id.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if !isCompositeOfStruct(r) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, c := range contract {
+		lockedMus[c] = true
+	}
+
+	// Parent-tracking walk: the stack lets us decide how a selection is
+	// used (method receiver, address-of, or a plain value).
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			checkAtomicSelection(pass, fd, sel, stack, inAtomicArg, lockedMus, fresh, name)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkAtomicSelection(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, stack []ast.Node, inAtomicArg map[*ast.SelectorExpr]bool, lockedMus map[string]bool, fresh map[types.Object]bool, name string) {
+	info := pass.Info
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return
+	}
+	owner := namedOf(deref(s.Recv()))
+	if owner == nil {
+		return
+	}
+	key := FieldKey(field.Pkg().Path(), owner.Obj().Name(), field.Name())
+
+	if isAtomicValueType(field.Type()) {
+		// Typed atomics: legal uses are a method call (parent selection
+		// with sel as receiver) or taking the address.
+		switch p := enclosingNonParen(stack).(type) {
+		case *ast.SelectorExpr:
+			if ast.Unparen(p.X) == sel {
+				return
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return
+			}
+		case *ast.KeyValueExpr:
+			if p.Key == sel {
+				return // field name position in a composite literal
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s: %s.%s is a typed atomic used as a plain value; copying it escapes the synchronization domain — call a method on it or take its address",
+			name, owner.Obj().Name(), field.Name())
+		return
+	}
+
+	if !pass.Ann.AtomicFields[key] {
+		return
+	}
+	if inAtomicArg[sel] {
+		return
+	}
+	if fresh[rootObj(info, sel.X)] {
+		return
+	}
+	if e := pass.Ann.Lookup(key); e != nil && e.GuardedBy != "" && lockedMus[e.GuardedBy] {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(), "%s: %s.%s is accessed with sync/atomic elsewhere but plainly here; mixed-mode access races — use the atomic API, or guard both sides with the same mutex",
+		name, owner.Obj().Name(), field.Name())
+}
+
+// enclosingNonParen returns the nearest ancestor on the stack that is
+// not a ParenExpr, or nil at the top level.
+func enclosingNonParen(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's typed
+// values (atomic.Int64, atomic.Pointer[T], atomic.Value, ...).
+func isAtomicValueType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The per-package call graph. Summary computation (summary.go) needs to
+// know, for every function declared in the package, which functions its
+// body can call — both siblings in the same package (whose summaries
+// are computed together, to a fixpoint, because packages can contain
+// call cycles) and imported functions (whose summaries arrived as facts
+// from an earlier run). The graph is syntax-directed and intentionally
+// coarse: dynamic calls through function values and interface methods
+// have no callee node and contribute no edge, so the summaries err
+// toward "nothing known", which every client treats as silence.
+
+// CallNode is one declared function of the package under analysis.
+type CallNode struct {
+	Key  string // FuncKey of the declaration
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+	// Callees lists the FuncKeys of every statically resolvable call in
+	// the body (function literals included — a call made by a closure
+	// the function constructs is still a call the function can make),
+	// deduplicated, in first-appearance order.
+	Callees []string
+}
+
+// CallGraph indexes the package's declared functions by FuncKey.
+type CallGraph struct {
+	Nodes map[string]*CallNode
+	// Order lists keys in declaration order, for deterministic fixpoint
+	// sweeps.
+	Order []string
+}
+
+// BuildCallGraph constructs the call graph of one loaded package,
+// skipping test files like every analyzer does.
+func BuildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*CallNode{}}
+	for _, f := range pkg.Files {
+		if isTestFile(pkg.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Key: FuncKey(fn), Decl: fd, Fn: fn}
+			seen := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				key := FuncKey(callee)
+				if !seen[key] {
+					seen[key] = true
+					node.Callees = append(node.Callees, key)
+				}
+				return true
+			})
+			g.Nodes[node.Key] = node
+			g.Order = append(g.Order, node.Key)
+		}
+	}
+	return g
+}

@@ -122,6 +122,43 @@ func (g *CFG) Leaks(l Loc, startAfter bool, classify func(ast.Stmt) Action) bool
 	return walk(l.b, idx)
 }
 
+// ReachesAvoiding reports whether some path from the function entry
+// reaches the statement at target without first passing a statement
+// classified ActionSatisfy or ActionExempt. The statement at target
+// itself is not classified. This is the forward dual of Leaks: Leaks
+// asks "can the obligation escape after this point", ReachesAvoiding
+// asks "can this point be reached before the prerequisite" — the shape
+// fsyncorder needs for "every path to the rename fsyncs first".
+func (g *CFG) ReachesAvoiding(target Loc, classify func(ast.Stmt) Action) bool {
+	if target.b == nil {
+		return true
+	}
+	seen := map[*cfgBlock]bool{}
+	var walk func(b *cfgBlock) bool
+	walk = func(b *cfgBlock) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for i, s := range b.stmts {
+			if b == target.b && i == target.idx {
+				return true
+			}
+			switch classify(s) {
+			case ActionSatisfy, ActionExempt:
+				return false
+			}
+		}
+		for _, succ := range b.succs {
+			if walk(succ) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.entry)
+}
+
 // BuildCFG constructs the graph for one function body.
 func BuildCFG(body *ast.BlockStmt) *CFG {
 	g := &CFG{

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncOrder verifies the crash-consistency ordering of functions
+// annotated //rlz:publishes — the tmp+fsync+rename atomic-publish
+// protocol the collection manifest (and every future WAL/group-commit
+// path) depends on. For an annotated function it checks, on the
+// statement-level CFG:
+//
+//   - the function renames at all: it must reach an os.Rename, directly
+//     or through a callee whose summary renames;
+//   - every path from entry to each rename passes fsync evidence first:
+//     a .Sync() call on an *os.File, or a call to a function whose
+//     summary syncs (the interprocedural part — a shared syncFile
+//     helper counts);
+//   - the rename's error is not discarded (no bare call, no `_ =`, no
+//     defer/go).
+//
+// The sync-before-rename check is intentionally alias-free: any fsync
+// ordered before the rename counts, matching the repo's publish helpers
+// where the synced handle is the file being renamed. Function literals
+// are not walked — a publish protocol spread across closures is beyond
+// what the mini-CFG can certify and should live in a named function.
+var FsyncOrder = &Analyzer{
+	Name: "fsyncorder",
+	Doc:  "check that //rlz:publishes functions fsync before os.Rename on every path and handle the rename error",
+	Run:  runFsyncOrder,
+}
+
+func runFsyncOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			entry := pass.Ann.Lookup(FuncKey(obj))
+			if entry == nil || !entry.Publishes {
+				continue
+			}
+			checkPublishes(pass, fd, funcTitle(obj))
+		}
+	}
+	return nil
+}
+
+func checkPublishes(pass *Pass, fd *ast.FuncDecl, name string) {
+	cfg := BuildCFG(fd.Body)
+	if cfg.Unsupported() {
+		pass.Reportf(fd.Name.Pos(), "%s: uses control flow the CFG cannot model (goto); cannot verify the publish protocol", name)
+		return
+	}
+
+	var renames []*ast.CallExpr
+	inspectUnit(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeOf(pass.Info, call); fn != nil && callRenames(pass.Ann, fn) {
+			renames = append(renames, call)
+		}
+		return true
+	})
+	if len(renames) == 0 {
+		pass.Reportf(fd.Name.Pos(), "%s: annotated //rlz:publishes but never reaches an os.Rename", name)
+		return
+	}
+
+	classify := func(s ast.Stmt) Action {
+		if stmtSyncs(pass.Info, pass.Ann, s) {
+			return ActionSatisfy
+		}
+		return ActionNone
+	}
+	for _, call := range renames {
+		loc, ok := cfg.Locate(call)
+		if !ok {
+			pass.Reportf(call.Pos(), "%s: rename in unsupported position; cannot verify fsync ordering", name)
+			continue
+		}
+		if cfg.ReachesAvoiding(loc, classify) {
+			pass.Reportf(call.Pos(), "%s: a path reaches this rename without fsyncing the data file first; the publish is not crash-consistent", name)
+		}
+		checkRenameErrorHandled(pass, fd.Body, call, name)
+	}
+}
+
+// callRenames reports whether calling fn performs an os.Rename, either
+// directly or per its interprocedural summary.
+func callRenames(idx *Index, fn *types.Func) bool {
+	if isOSRename(fn) {
+		return true
+	}
+	sum := idx.Summary(FuncKey(fn))
+	return sum != nil && sum.Renames
+}
+
+// stmtSyncs reports whether stmt contains fsync evidence: a .Sync()
+// call on an *os.File, or a call to a function whose summary syncs.
+// Function literals inside the statement are not searched — a sync that
+// only happens when some closure runs is not ordering evidence.
+func stmtSyncs(info *types.Info, idx *Index, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isFileSyncCall(info, call) {
+			found = true
+			return false
+		}
+		if fn := calleeOf(info, call); fn != nil {
+			if sum := idx.Summary(FuncKey(fn)); sum != nil && sum.Syncs {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkRenameErrorHandled flags rename calls whose error is dropped: a
+// bare expression statement, a blank assignment, or a defer/go.
+func checkRenameErrorHandled(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr, name string) {
+	if !returnsOnlyErrorCall(pass.Info, call) {
+		return // helper with a different shape; nothing to discard
+	}
+	inspectUnit(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(s.X) == call {
+				pass.Reportf(call.Pos(), "%s: rename error is silently discarded; a failed publish must be surfaced", name)
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, r := range s.Rhs {
+				if ast.Unparen(r) != call || i >= len(s.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "%s: rename error is discarded with _ =; a failed publish must be surfaced", name)
+					return false
+				}
+			}
+		case *ast.DeferStmt:
+			if s.Call == call {
+				pass.Reportf(call.Pos(), "%s: rename is deferred, its error unobservable; publish synchronously", name)
+				return false
+			}
+		case *ast.GoStmt:
+			if s.Call == call {
+				pass.Reportf(call.Pos(), "%s: rename runs in a goroutine, its error unobservable; publish synchronously", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func returnsOnlyErrorCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	return fn != nil && returnsOnlyError(fn)
+}

@@ -16,6 +16,20 @@ func TestZeroCopy(t *testing.T)   { analysistest.Run(t, analysis.ZeroCopy, fix("
 func TestLockGuard(t *testing.T)  { analysistest.Run(t, analysis.LockGuard, fix("lockguard")) }
 func TestHotAlloc(t *testing.T)   { analysistest.Run(t, analysis.HotAlloc, fix("hotalloc")) }
 func TestErrClose(t *testing.T)   { analysistest.Run(t, analysis.ErrClose, fix("errclose")) }
+func TestAllocCap(t *testing.T)   { analysistest.Run(t, analysis.AllocCap, fix("alloccap")) }
+func TestFsyncOrder(t *testing.T) { analysistest.Run(t, analysis.FsyncOrder, fix("fsyncorder")) }
+func TestAtomicMix(t *testing.T)  { analysistest.Run(t, analysis.AtomicMix, fix("atomicmix")) }
+
+// The cross-package pair: same dep/app split, with and without the
+// clamp in the dep package. The ok fixture has no want comments — the
+// callee's clamp must silence the caller's allocation through the
+// shared fact index; the bad fixture must flag it.
+func TestAllocCapCrossPackageOK(t *testing.T) {
+	analysistest.Run(t, analysis.AllocCap, fix("alloccap_xpkg_ok"))
+}
+func TestAllocCapCrossPackageBad(t *testing.T) {
+	analysistest.Run(t, analysis.AllocCap, fix("alloccap_xpkg_bad"))
+}
 
 // TestRepositoryIsClean is the acceptance gate: the full suite over the
 // real tree must report nothing. It is the same run `rlzvet ./...`
@@ -32,6 +46,9 @@ func TestRepositoryIsClean(t *testing.T) {
 	var bad []analysis.Finding
 	for _, p := range pkgs {
 		bad = append(bad, analysis.CollectAnnotations(p.Fset, p.ImportPath, p.Files, idx)...)
+	}
+	for _, p := range pkgs { // deps-first, so callee summaries exist
+		analysis.ComputeSummaries(p, idx)
 	}
 	for _, p := range pkgs {
 		findings, err := analysis.RunAnalyzers(p, analysis.Analyzers(), idx)

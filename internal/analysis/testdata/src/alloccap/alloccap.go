@@ -1,0 +1,118 @@
+// Fixture for alloccap: sizes decoded from untrusted input must be
+// clamped before they reach an allocation. UnmarshalAmplified is the
+// docmap preallocation bug from PR 3, byte for byte the defect shape
+// this analyzer exists to catch; UnmarshalClamped is the shipped fix.
+package alloccap
+
+import "encoding/binary"
+
+// UnmarshalAmplified preallocates from a decoded count with no clamp: a
+// ten-byte header can demand gigabytes.
+func UnmarshalAmplified(src []byte) []uint64 {
+	count, _ := binary.Uvarint(src)
+	out := make([]uint64, count) // want `allocation size decoded from untrusted input reaches make without a clamp`
+	return out
+}
+
+// UnmarshalClamped bounds the count by the bytes actually present —
+// the PR 3 fix pattern. No finding.
+func UnmarshalClamped(src []byte) []uint64 {
+	count, n := binary.Uvarint(src)
+	if n <= 0 || count > uint64(len(src)-n) {
+		return nil
+	}
+	out := make([]uint64, 0, count)
+	return out
+}
+
+// MinClamped uses the min builtin as the clamp. No finding.
+func MinClamped(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	return make([]byte, min(sz, 4096))
+}
+
+// HugeConstBound compares against a constant so large the "clamp"
+// still allows amplification; it does not count.
+func HugeConstBound(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	if sz > 1<<30 {
+		return nil
+	}
+	return make([]byte, sz) // want `reaches make without a clamp`
+}
+
+// ModClamped bounds by a modulus. No finding.
+func ModClamped(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	return make([]byte, sz%4096)
+}
+
+// Acknowledged carries a reasoned //rlz:trusted on the allocation line,
+// silencing the finding.
+func Acknowledged(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	//rlz:trusted container checksum verified by the caller before decode
+	return make([]byte, sz)
+}
+
+// allocHelper allocates from its parameter without a clamp; its summary
+// records parameter 0 as alloc-reaching.
+func allocHelper(n int) []byte {
+	return make([]byte, n)
+}
+
+// CallsAllocHelper passes a decoded size to a callee that allocates
+// from it — the interprocedural case, flagged at the call site.
+func CallsAllocHelper(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	return allocHelper(int(sz)) // want `untrusted decoded size flows to alloccap.allocHelper, which allocates from parameter 0 without a clamp`
+}
+
+// CallsAllocHelperClamped clamps before the call. No finding.
+func CallsAllocHelperClamped(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	if sz > uint64(len(src)) {
+		return nil
+	}
+	return allocHelper(int(sz))
+}
+
+// decodeLimited clamps only against its limit parameter: the bound's
+// quality is the caller's choice, so the summary exports the result as
+// parameter-bounded and each call site is judged on its argument.
+func decodeLimited(src []byte, limit uint64) (uint64, bool) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 || v > limit {
+		return 0, false
+	}
+	return v, true
+}
+
+// SmallLimit passes a modest bound; the callee's clamp holds. No
+// finding.
+func SmallLimit(src []byte) []byte {
+	v, ok := decodeLimited(src, 1<<16)
+	if !ok {
+		return nil
+	}
+	return make([]byte, v)
+}
+
+// HugeLimit launders the decode through a gigabyte "limit" — the
+// warc MaxBodyLen defect shape. Still flagged.
+func HugeLimit(src []byte) []byte {
+	v, ok := decodeLimited(src, 1<<30)
+	if !ok {
+		return nil
+	}
+	return make([]byte, v) // want `reaches make without a clamp`
+}
+
+// TrustedSize is wholly acknowledged at the declaration: its sizes come
+// from a source the analysis cannot see is bounded.
+//
+//rlz:trusted sizes come from the build planner, not from input bytes
+func TrustedSize(src []byte) []byte {
+	sz, _ := binary.Uvarint(src)
+	return make([]byte, sz)
+}

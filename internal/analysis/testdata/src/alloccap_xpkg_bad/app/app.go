@@ -1,0 +1,14 @@
+// Package app allocates from a size its dependency decoded but never
+// clamped — flagged here, at the allocation, via cross-package facts.
+package app
+
+import "rlz/fixture/alloccap_xpkg_bad/dep"
+
+// Build allocates from dep.DecodeSize's unclamped result.
+func Build(src []byte) []byte {
+	n, ok := dep.DecodeSize(src)
+	if !ok {
+		return nil
+	}
+	return make([]byte, n) // want `allocation size decoded from untrusted input reaches make without a clamp`
+}

@@ -1,0 +1,16 @@
+// Package dep is the tainted half of the cross-package fixture pair:
+// identical to alloccap_xpkg_ok's dep with the clamp removed, so the
+// decoded size escapes tainted and the allocation in app is flagged.
+package dep
+
+import "encoding/binary"
+
+// DecodeSize returns a size decoded from src with no clamp; the
+// summary exports result 0 as tainted.
+func DecodeSize(src []byte) (int, bool) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, false
+	}
+	return int(v), true
+}

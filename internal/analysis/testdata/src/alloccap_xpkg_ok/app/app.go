@@ -1,0 +1,15 @@
+// Package app allocates from a size its dependency already clamped; no
+// finding anywhere in this fixture.
+package app
+
+import "rlz/fixture/alloccap_xpkg_ok/dep"
+
+// Build allocates from dep.DecodeSize's result. The clamp happened in
+// the callee, one package over; the summary vouches for it.
+func Build(src []byte) []byte {
+	n, ok := dep.DecodeSize(src)
+	if !ok {
+		return nil
+	}
+	return make([]byte, n)
+}

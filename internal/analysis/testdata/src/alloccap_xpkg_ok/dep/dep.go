@@ -1,0 +1,17 @@
+// Package dep decodes sizes and clamps them before returning — the
+// clean half of the cross-package fixture pair. The clamp lives here;
+// the allocation lives in the app package. Facts carry the cleanliness
+// across the package boundary, so the whole fixture expects silence.
+package dep
+
+import "encoding/binary"
+
+// DecodeSize returns a size decoded from src, clamped by the bytes
+// actually present.
+func DecodeSize(src []byte) (int, bool) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 || v > uint64(len(src)-n) {
+		return 0, false
+	}
+	return int(v), true
+}

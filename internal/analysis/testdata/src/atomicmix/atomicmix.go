@@ -1,0 +1,88 @@
+// Fixture for atomicmix: a field accessed through sync/atomic anywhere
+// must never be plainly read or written elsewhere, and typed atomics
+// must not be copied as plain values. The exemptions pinned here:
+// accesses inside atomic calls, freshly constructed values, and the
+// plain-init-under-lock pattern for fields documented guarded by a
+// mutex.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	// hits counts lookups: incremented with sync/atomic on the hot
+	// path, reset plainly during rotation (guarded by mu).
+	hits int64
+	// plain is only ever plainly accessed; atomicmix has no fact for it.
+	plain int64
+}
+
+// Hit is the hot-path atomic increment that creates the fact.
+func (c *counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads atomically. No finding.
+func (c *counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// BadRead plainly reads a field updated with sync/atomic elsewhere.
+func (c *counter) BadRead() int64 {
+	return c.hits // want `accessed with sync/atomic elsewhere but plainly here`
+}
+
+// BadWrite plainly writes it.
+func (c *counter) BadWrite() {
+	c.hits = 0 // want `accessed with sync/atomic elsewhere but plainly here`
+}
+
+// ResetUnderLock holds the mutex the field is documented guarded by —
+// the plain-init-under-lock pattern, exempt.
+func (c *counter) ResetUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = 0
+}
+
+// NewCounter constructs an unshared value; plain init of a fresh value
+// is exempt.
+func NewCounter() *counter {
+	c := &counter{}
+	c.hits = 0
+	return c
+}
+
+// PlainOnly touches a field with no atomic fact; nothing to report.
+func (c *counter) PlainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+type gauge struct {
+	val  atomic.Int64
+	name string
+}
+
+// Set uses the typed atomic through its method set. No finding.
+func (g *gauge) Set(v int64) { g.val.Store(v) }
+
+// BadCopy returns the atomic value by value: the copy escapes the
+// synchronization domain.
+func (g *gauge) BadCopy() atomic.Int64 {
+	return g.val // want `typed atomic used as a plain value`
+}
+
+// GoodAddr hands out a pointer; the callee still goes through the
+// atomic API. No finding.
+func (g *gauge) GoodAddr() *atomic.Int64 {
+	return &g.val
+}
+
+// GoodName touches the non-atomic neighbour field. No finding.
+func (g *gauge) GoodName() string {
+	return g.name
+}

@@ -1,0 +1,169 @@
+// Fixture for fsyncorder: //rlz:publishes functions must fsync the
+// data file before os.Rename on every path and must not discard the
+// rename error. Good is the real tmp+fsync+rename protocol and expects
+// silence; the rest each break it one way.
+package fsyncorder
+
+import "os"
+
+// Good runs the full publish protocol: write, sync, close, rename,
+// error returned. No finding.
+//
+//rlz:publishes
+func Good(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncAndClose is the helper whose summary carries the fsync fact.
+func syncAndClose(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// GoodViaHelper syncs through a callee — interprocedural fsync
+// evidence. No finding.
+//
+//rlz:publishes
+func GoodViaHelper(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := syncAndClose(f); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// MissingSync never fsyncs: a crash after the rename can publish a name
+// whose data blocks never hit the disk.
+//
+//rlz:publishes
+func MissingSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `a path reaches this rename without fsyncing`
+}
+
+// SyncOnOnePath fsyncs only in one branch; the fast path publishes
+// unsynced data.
+//
+//rlz:publishes
+func SyncOnOnePath(path string, data []byte, fast bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if !fast {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `a path reaches this rename without fsyncing`
+}
+
+// DiscardsRenameError syncs correctly but drops the rename error: a
+// failed publish goes unnoticed.
+//
+//rlz:publishes
+func DiscardsRenameError(path string, data []byte) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return
+	}
+	if err := f.Close(); err != nil {
+		return
+	}
+	os.Rename(tmp, path) // want `rename error is silently discarded`
+}
+
+// BlankRenameError assigns the rename error to the blank identifier.
+//
+//rlz:publishes
+func BlankRenameError(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_ = os.Rename(tmp, path) // want `rename error is discarded with _ =`
+	return nil
+}
+
+// NeverRenames is annotated as publishing but contains no rename at
+// all: either the annotation or the function is wrong.
+//
+//rlz:publishes
+func NeverRenames(f *os.File) error { // want `annotated //rlz:publishes but never reaches an os.Rename`
+	return f.Sync()
+}
+
+// renameHelper carries the rename fact for the interprocedural case.
+func renameHelper(tmp, path string) error {
+	return os.Rename(tmp, path)
+}
+
+// MissingSyncViaHelper renames through a callee without ever syncing;
+// the callee's summary makes the call site a rename site.
+//
+//rlz:publishes
+func MissingSyncViaHelper(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return renameHelper(tmp, path) // want `a path reaches this rename without fsyncing`
+}
+
+// Unannotated runs the broken protocol but is not annotated; fsyncorder
+// only audits declared publishers. No finding.
+func Unannotated(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

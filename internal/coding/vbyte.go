@@ -46,6 +46,8 @@ func PutUvarint32(dst []byte, v uint32) []byte {
 // Uvarint32 decodes a vbyte value from the front of src, returning the
 // value and the number of bytes consumed. It returns ErrShortBuffer if src
 // ends mid-codeword and ErrOverflow if the codeword does not fit in 32 bits.
+//
+//rlz:untrusted
 func Uvarint32(src []byte) (uint32, int, error) {
 	var v uint32
 	var shift uint
@@ -77,6 +79,8 @@ func PutUvarint64(dst []byte, v uint64) []byte {
 
 // Uvarint64 decodes a 64-bit vbyte value from the front of src, returning
 // the value and the number of bytes consumed.
+//
+//rlz:untrusted
 func Uvarint64(src []byte) (uint64, int, error) {
 	var v uint64
 	var shift uint
@@ -125,6 +129,8 @@ func PutU32(dst []byte, v uint32) []byte {
 }
 
 // U32 decodes a little-endian 32-bit value from the front of src.
+//
+//rlz:untrusted
 func U32(src []byte) (uint32, error) {
 	if len(src) < 4 {
 		return 0, ErrShortBuffer
@@ -140,6 +146,8 @@ func PutU64(dst []byte, v uint64) []byte {
 }
 
 // U64 decodes a little-endian 64-bit value from the front of src.
+//
+//rlz:untrusted
 func U64(src []byte) (uint64, error) {
 	if len(src) < 8 {
 		return 0, ErrShortBuffer

@@ -287,6 +287,8 @@ func (s *runSource) Next() (archive.Doc, error) {
 // buildRunSegment builds one run's replacement RLZ archive at its final
 // name via tmp+fsync+rename, so a crash leaves no half-written segment
 // under a live name.
+//
+//rlz:publishes
 func buildRunSegment(dir, name string, r *run, tomb map[int]struct{}, aopts archive.Options) error {
 	tmp := filepath.Join(dir, name+".tmp")
 	src := &runSource{r: r, tomb: tomb, id: r.start}

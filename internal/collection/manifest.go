@@ -321,6 +321,8 @@ func WriteManifest(dir string, m *Manifest) error {
 
 // writeFileAtomic writes data to path via tmp+fsync+rename+dir-fsync —
 // the one publish protocol shared by the manifest and the DICT file.
+//
+//rlz:publishes
 func writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

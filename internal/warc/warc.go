@@ -105,19 +105,41 @@ func (r *Reader) Read() (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	url := make([]byte, urlLen)
-	if _, err := io.ReadFull(r.r, url); err != nil {
-		return Record{}, fmt.Errorf("%w: URL: %v", ErrCorrupt, err)
+	url, err := readExact(r.r, int(urlLen), "URL")
+	if err != nil {
+		return Record{}, err
 	}
 	bodyLen, err := r.uvarint(MaxBodyLen, "body length")
 	if err != nil {
 		return Record{}, err
 	}
-	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(r.r, body); err != nil {
-		return Record{}, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+	body, err := readExact(r.r, int(bodyLen), "body")
+	if err != nil {
+		return Record{}, err
 	}
 	return Record{URL: string(url), Body: body}, nil
+}
+
+// allocChunk bounds how much readExact grows its buffer per read, so a
+// forged length prepays nothing: memory is committed only as fast as
+// the input actually delivers bytes.
+const allocChunk = 64 << 10
+
+// readExact reads exactly n bytes from r into a fresh buffer, growing
+// it chunk by chunk. A record claiming a gigabyte body but carrying
+// three bytes costs one chunk, not a gigabyte — the allocation is
+// clamped by the input actually available.
+func readExact(r io.Reader, n int, what string) ([]byte, error) {
+	buf := make([]byte, 0, min(n, allocChunk))
+	for len(buf) < n {
+		grow := min(n-len(buf), allocChunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, grow)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, what, err)
+		}
+	}
+	return buf, nil
 }
 
 func (r *Reader) uvarint(limit uint32, what string) (uint32, error) {

@@ -2,8 +2,10 @@ package warc
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -121,6 +123,109 @@ func TestCorruptInputs(t *testing.T) {
 	if _, err := ReadAll(bytes.NewReader(huge)); err == nil {
 		t.Error("oversized body length accepted")
 	}
+}
+
+// TestHostileLengthAllocation is the regression test for the unclamped
+// allocations alloccap flagged here: a record header claiming a huge
+// body backed by almost no bytes must fail with ErrCorrupt after
+// allocating at most a read chunk, not the claimed size up front.
+func TestHostileLengthAllocation(t *testing.T) {
+	// "WREC", URL length 1, URL "u", body length MaxBodyLen (valid per
+	// the header check), then only three bytes of body.
+	hostile := []byte{'W', 'R', 'E', 'C', 1, 'u'}
+	hostile = appendUvarint(hostile, MaxBodyLen)
+	hostile = append(hostile, 'a', 'b', 'c')
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadAll(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile body length: got err %v, want ErrCorrupt", err)
+	}
+	// TotalAlloc is monotonic, so the delta is exact regardless of GC.
+	// Claimed size is 1 GiB; allow a generous 4 MiB for test machinery.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 4<<20 {
+		t.Fatalf("hostile record allocated %d bytes; allocation is not clamped by available input", delta)
+	}
+
+	// Same shape on the URL: max URL length claimed, no URL bytes.
+	hostile = appendUvarint([]byte{'W', 'R', 'E', 'C'}, MaxURLLen)
+	if _, err := ReadAll(bytes.NewReader(hostile)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile URL length: got err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadExactBoundary exercises readExact around the chunk size so the
+// chunked path reassembles multi-chunk bodies byte-perfectly.
+func TestReadExactBoundary(t *testing.T) {
+	for _, n := range []int{0, 1, allocChunk - 1, allocChunk, allocChunk + 1, 3*allocChunk + 7} {
+		want := bytes.Repeat([]byte{byte(n)}, n)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(Record{URL: "u", Body: want}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadAll(&buf)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("n=%d: %v, %d records", n, err, len(recs))
+		}
+		if !bytes.Equal(recs[0].Body, want) {
+			t.Fatalf("n=%d: body mismatch", n)
+		}
+	}
+}
+
+// FuzzWARCRead drives the untrusted-header path: arbitrary bytes must
+// never panic, and whatever decodes must survive a write/read round
+// trip. The hostile-length shapes from TestHostileLengthAllocation are
+// seeds, so the chunked readExact path is always exercised.
+func FuzzWARCRead(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{URL: "http://x", Body: []byte("body bytes")})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{'W', 'R', 'E', 'C', 1, 'u'})
+	f.Add(appendUvarint([]byte{'W', 'R', 'E', 'C'}, MaxURLLen))
+	f.Add(append(appendUvarint([]byte{'W', 'R', 'E', 'C', 1, 'u'}, MaxBodyLen), 'a', 'b', 'c'))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-encoding decoded record: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(&out)
+		if err != nil || len(again) != len(recs) {
+			t.Fatalf("round trip: %v, %d records, want %d", err, len(again), len(recs))
+		}
+		for i := range recs {
+			if again[i].URL != recs[i].URL || !bytes.Equal(again[i].Body, recs[i].Body) {
+				t.Fatalf("round trip: record %d mismatch", i)
+			}
+		}
+	})
+}
+
+func appendUvarint(dst []byte, v uint32) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
 }
 
 func TestWriterRejectsOversized(t *testing.T) {
