@@ -19,6 +19,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rlz/internal/archive"
@@ -454,7 +456,11 @@ func BenchmarkMixedAppendRead(b *testing.B) {
 			if err := collection.Init(dir); err != nil {
 				b.Fatal(err)
 			}
-			col, err := collection.Open(dir, collection.Options{})
+			// Async keeps this benchmark measuring the serving path, not
+			// fsync latency — the shape it has recorded since PR 5, from
+			// before appends became durable by default. The durability
+			// modes are costed separately by BenchmarkDurableAppend.
+			col, err := collection.Open(dir, collection.Options{Async: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -482,5 +488,63 @@ func BenchmarkMixedAppendRead(b *testing.B) {
 			b.SetBytes(served / int64(b.N))
 			b.ReportMetric(float64(len(ids)+nAppend)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
+	}
+}
+
+// BenchmarkDurableAppend costs the write path's durability modes
+// (BENCH_wal.json): group commit (the default — appends join a shared
+// WAL batch and one fsync acknowledges all of them), per-append fsync
+// (SyncAppends), and async (pre-WAL acknowledgment from memory, the
+// durability-free ceiling). Workers are explicit goroutines, each a
+// closed loop over one shared collection: group commit's whole point is
+// that concurrent appends amortize the fsync, so the 8-worker rows are
+// the headline — the acceptance floor is group commit at or above 5x
+// the per-append-fsync throughput there.
+func BenchmarkDurableAppend(b *testing.B) {
+	doc := bytes.Repeat([]byte("durable-append-payload."), 45) // ~1 KiB
+	modes := []struct {
+		name string
+		opts collection.Options
+	}{
+		{"group-commit", collection.Options{}},
+		{"fsync-per-append", collection.Options{SyncAppends: true}},
+		{"async", collection.Options{Async: true}},
+	}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 8} {
+			b.Run(mode.name+"/w"+strconv.Itoa(workers), func(b *testing.B) {
+				dir := filepath.Join(b.TempDir(), "wal-bench")
+				if err := collection.Init(dir); err != nil {
+					b.Fatal(err)
+				}
+				col, err := collection.Open(dir, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer col.Close()
+				b.SetBytes(int64(len(doc)))
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				var failed atomic.Value
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for int(next.Add(1)) <= b.N {
+							if _, err := col.Append(doc); err != nil {
+								failed.Store(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				if err := failed.Load(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+			})
+		}
 	}
 }

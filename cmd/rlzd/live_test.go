@@ -261,6 +261,7 @@ func TestWriteEndpointsReadOnlyArchive(t *testing.T) {
 		method, path string
 	}{
 		{http.MethodPost, "/append"},
+		{http.MethodPost, "/append/batch"},
 		{http.MethodDelete, "/doc/1"},
 		{http.MethodPost, "/compact"},
 	}

@@ -12,23 +12,33 @@
 // the append path into RLZ segments without a restart — the documents
 // keep their ids and bytes across the swap.
 //
+// Appends are durable by default: each is acknowledged when the WAL
+// batch it joined is fsynced (group commit), -sync-appends fsyncs the
+// segment per append, -async-appends acknowledges from memory. When the
+// in-flight WAL budget (-wal-max-pending) is exhausted, writes answer
+// 429 Too Many Requests with Retry-After — back off and retry.
+//
 // Usage:
 //
 //	rlzd -a archive.rlz [-addr :8087] [-cache 1024] [-workers 0]
 //	rlzd -a sharddir/
 //	rlzd -a collectiondir/ [-compact-after 10000] [-sync-appends]
+//	     [-async-appends] [-wal-max-pending 8MB] [-append-batch 256]
 //
 // Endpoints:
 //
-//	GET    /doc/{id}  one document, verbatim bytes
-//	POST   /docs      batch retrieval; JSON {"ids":[1,2,3]} in,
-//	                  per-document data/error JSON out
-//	GET    /stats     serve.Stats as JSON, plus a per-shard breakdown
-//	                  (shard sets) or generation breakdown (collections)
-//	POST   /append    raw document bytes in, JSON {"id":N} out
-//	                  (live collections only)
-//	DELETE /doc/{id}  tombstone a document (live collections only)
-//	POST   /compact   run a compaction now (live collections only)
+//	GET    /doc/{id}      one document, verbatim bytes
+//	POST   /docs          batch retrieval; JSON {"ids":[1,2,3]} in,
+//	                      per-document data/error JSON out
+//	GET    /stats         serve.Stats as JSON, plus a per-shard breakdown
+//	                      (shard sets) or generation breakdown (collections)
+//	POST   /append        raw document bytes in, JSON {"id":N} out
+//	                      (live collections only)
+//	POST   /append/batch  JSON {"docs":[base64,...]} in, JSON {"ids":[...]}
+//	                      out; one commit window for the whole batch
+//	                      (live collections only)
+//	DELETE /doc/{id}      tombstone a document (live collections only)
+//	POST   /compact       run a compaction now (live collections only)
 package main
 
 import (
@@ -53,8 +63,11 @@ func main() {
 	cacheDocs := fs.Int("cache", 1024, "hot-document LRU capacity in documents; 0 disables")
 	workers := fs.Int("workers", 0, "batch fan-out per request; 0 means GOMAXPROCS")
 	maxBatch := fs.Int("max-batch", 4096, "largest accepted POST /docs batch")
-	maxDoc := fs.String("max-doc", "16MB", "largest accepted POST /append document")
+	maxDoc := fs.String("max-doc", "16MB", "largest accepted POST /append document (and /append/batch body)")
 	syncAppends := fs.Bool("sync-appends", false, "fsync every append before acknowledging it (live collections)")
+	asyncAppends := fs.Bool("async-appends", false, "acknowledge appends before they are durable; loses the tail on crash (live collections)")
+	walMaxPending := fs.String("wal-max-pending", "8MB", "WAL bytes in flight before appends answer 429 (live collections)")
+	appendBatch := fs.Int("append-batch", 256, "largest accepted POST /append/batch document count")
 	compactAfter := fs.Int("compact-after", 0, "auto-compact when this many documents await compaction; 0 disables (live collections)")
 	compactEvery := fs.Duration("compact-every", 0, "auto-compact on this interval when work is pending; 0 disables (live collections)")
 	fs.Parse(os.Args[1:])
@@ -67,6 +80,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("rlzd: -max-doc: %v", err)
 	}
+	walPendingBytes, err := units.ParseSize(*walMaxPending)
+	if err != nil {
+		log.Fatalf("rlzd: -wal-max-pending: %v", err)
+	}
 
 	r, err := archive.Open(*arc)
 	if err != nil {
@@ -74,10 +91,16 @@ func main() {
 	}
 	defer r.Close()
 	col, live := collection.FromReader(r)
-	if live && *syncAppends {
-		// archive.Open used default options; reopen with durability on.
+	if live {
+		// archive.Open used default options; reopen with the daemon's
+		// durability and admission configuration.
 		_ = r.Close()
-		if col, err = collection.Open(*arc, collection.Options{SyncAppends: true}); err != nil {
+		col, err = collection.Open(*arc, collection.Options{
+			SyncAppends:   *syncAppends,
+			Async:         *asyncAppends,
+			MaxWALPending: int64(walPendingBytes),
+		})
+		if err != nil {
 			log.Fatalf("rlzd: %v", err)
 		}
 		r = col
@@ -94,7 +117,7 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      newMux(srv, col, muxOptions{maxBatch: *maxBatch, maxDoc: int64(maxDocBytes)}),
+		Handler:      newMux(srv, col, muxOptions{maxBatch: *maxBatch, maxDoc: int64(maxDocBytes), appendBatch: *appendBatch}),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}

@@ -52,11 +52,27 @@ type statsResponse struct {
 	Live      *collection.Info `json:"live,omitempty"`
 }
 
+// appendBatchRequest is the POST /append/batch body: documents as
+// base64 strings (Go's []byte JSON encoding), appended in order.
+type appendBatchRequest struct {
+	Docs [][]byte `json:"docs"`
+}
+
+// appendBatchResponse reports the ids that were durably acknowledged.
+// On a partial failure IDs holds the acknowledged prefix and Error the
+// reason the rest were refused.
+type appendBatchResponse struct {
+	IDs        []int  `json:"ids"`
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+}
+
 // muxOptions carries the write-path configuration of newMux.
 type muxOptions struct {
-	maxBatch int
-	maxDoc   int64 // largest accepted POST /append body
-	errlog   *log.Logger
+	maxBatch    int
+	maxDoc      int64 // largest accepted POST /append body
+	appendBatch int   // largest accepted POST /append/batch document count
+	errlog      *log.Logger
 }
 
 // newMux wires the rlzd endpoints around a serve.Server. col is non-nil
@@ -75,7 +91,24 @@ func newMux(srv *serve.Server, col *collection.Collection, opt muxOptions) http.
 	if opt.maxDoc <= 0 {
 		opt.maxDoc = 16 << 20
 	}
+	if opt.appendBatch <= 0 {
+		opt.appendBatch = 256
+	}
 	mux := http.NewServeMux()
+
+	// backpressured answers ErrBackpressure writes with 429 + Retry-After
+	// (the admission budget drains in well under a second; clients with
+	// jittered backoff spread the retries) and reports whether it handled
+	// the error.
+	backpressured := func(w http.ResponseWriter, err error) bool {
+		if !errors.Is(err, collection.ErrBackpressure) {
+			return false
+		}
+		srv.RecordBackpressure()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return true
+	}
 
 	// Per-shard figures are immutable once a static shard set is open,
 	// so that breakdown is computed once, not per /stats request (a live
@@ -202,12 +235,67 @@ func newMux(srv *serve.Server, col *collection.Collection, opt muxOptions) http.
 		}
 		id, err := col.Append(doc)
 		if err != nil {
+			if backpressured(w, err) {
+				return
+			}
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(map[string]any{"id": id, "generation": col.Generation()}); err != nil {
 			errlog.Printf("rlzd: encoding /append response: %v", err)
+		}
+	})
+
+	mux.HandleFunc("POST /append/batch", func(w http.ResponseWriter, r *http.Request) {
+		if readOnly(w) {
+			return
+		}
+		// The whole batch body shares the single-document byte budget: a
+		// batch is a latency optimization (one commit window, about one
+		// fsync), not a bulk-import channel.
+		var req appendBatchRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, opt.maxDoc)).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, "batch body exceeds limit of "+strconv.FormatInt(opt.maxDoc, 10)+" bytes", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(req.Docs) == 0 {
+			http.Error(w, `body must carry {"docs":[...]} with at least one document`, http.StatusBadRequest)
+			return
+		}
+		if len(req.Docs) > opt.appendBatch {
+			http.Error(w, "batch of "+strconv.Itoa(len(req.Docs))+" documents exceeds limit "+strconv.Itoa(opt.appendBatch), http.StatusRequestEntityTooLarge)
+			return
+		}
+		ids, err := col.AppendBatch(req.Docs)
+		resp := appendBatchResponse{IDs: ids, Generation: col.Generation()}
+		if resp.IDs == nil {
+			resp.IDs = []int{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			// The acknowledged prefix is durable and reported either way;
+			// the status says why the rest was refused.
+			resp.Error = err.Error()
+			status := http.StatusInternalServerError
+			if errors.Is(err, collection.ErrBackpressure) {
+				srv.RecordBackpressure()
+				w.Header().Set("Retry-After", "1")
+				status = http.StatusTooManyRequests
+			}
+			w.WriteHeader(status)
+			if err := json.NewEncoder(w).Encode(resp); err != nil {
+				errlog.Printf("rlzd: encoding /append/batch error response: %v", err)
+			}
+			return
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			errlog.Printf("rlzd: encoding /append/batch response: %v", err)
 		}
 	})
 

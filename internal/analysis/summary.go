@@ -182,11 +182,25 @@ func isIntegerType(t types.Type) bool {
 	return ok && b.Info()&types.IsInteger != 0
 }
 
+// faultfsPath is the fault-injection filesystem package. Its FS.Rename
+// and File.Sync are the durability primitives on the injected write
+// path: under the OS implementation they are exactly os.Rename and
+// (*os.File).Sync, and under the simulator they model the same
+// semantics. The fsyncorder contract treats them as equivalent.
+const faultfsPath = "rlz/internal/faultfs"
+
 func isOSRename(fn *types.Func) bool {
-	return fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename"
+	if fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+		return true
+	}
+	return fn.Pkg().Path() == faultfsPath && fn.Name() == "Rename"
 }
 
-// isFileSyncCall reports whether call is .Sync() on an *os.File.
+// isFileSyncCall reports whether call is .Sync() on an *os.File or on a
+// faultfs file/filesystem (whose Sync is an fsync by contract).
 func isFileSyncCall(info *types.Info, call *ast.CallExpr) bool {
 	fn := calleeOf(info, call)
 	if fn == nil || fn.Name() != "Sync" {
@@ -197,7 +211,13 @@ func isFileSyncCall(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	n := namedOf(sig.Recv().Type())
-	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "os" && n.Obj().Name() == "File"
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() == "os" && n.Obj().Name() == "File" {
+		return true
+	}
+	return n.Obj().Pkg().Path() == faultfsPath
 }
 
 // collectAtomicFacts records, in both idx and own, every struct field

@@ -12,7 +12,9 @@ import (
 
 	"rlz/internal/archive"
 	"rlz/internal/docmap"
+	"rlz/internal/faultfs"
 	"rlz/internal/rlz"
+	"rlz/internal/wal"
 )
 
 func init() {
@@ -32,14 +34,51 @@ var ErrDeleted = fmt.Errorf("%w: deleted", docmap.ErrNoSuchDoc)
 // running.
 var ErrCompacting = fmt.Errorf("collection: compaction already in progress")
 
+// ErrBackpressure is returned by Append when the write path's in-flight
+// budget (WAL bytes awaiting fsync, or the pending-compaction document
+// backlog) is exhausted. The append did not happen; the caller should
+// back off and retry. rlzd surfaces it as HTTP 429 + Retry-After.
+var ErrBackpressure = wal.ErrBackpressure
+
 // Options configures an open Collection.
+//
+// Durability modes, strongest to weakest:
+//
+//   - SyncAppends: every append fsyncs the open segment before its id
+//     returns. Strongest latency cost, no WAL.
+//   - default (both flags false): group commit — appends are logged to a
+//     write-ahead log and acknowledged after the WAL batch they joined
+//     is fsynced; one fsync amortizes over every append in flight. An
+//     acknowledged append survives any crash.
+//   - Async: appends are acknowledged from memory and are durable only
+//     at the next seal, sync or manifest publish; a crash loses at most
+//     the buffered tail (never a torn document). This was the default
+//     before the WAL existed.
 type Options struct {
 	// SyncAppends fsyncs the open segment's data and length files after
 	// every append, making each append durable before its id is
-	// returned. Off by default: appends are durable at the next seal,
-	// and a crash loses at most the OS-buffered tail (never a torn
-	// document).
+	// returned — one fsync per append, no batching.
 	SyncAppends bool
+	// Async acknowledges appends before they are durable. Mutually
+	// exclusive with SyncAppends.
+	Async bool
+	// FS routes the write path's filesystem operations; nil means the
+	// real filesystem (faultfs.OS). Tests install faultfs.NewSim() to
+	// inject failures.
+	FS faultfs.FS
+	// MaxWALPending bounds the bytes enqueued to the WAL but not yet
+	// fsynced; appends beyond it fail with ErrBackpressure. Zero means
+	// 8 MiB. Group-commit mode only.
+	MaxWALPending int64
+	// CheckpointBytes is the WAL size at which the open segment is
+	// fsynced and the log truncated. Zero means 4 MiB. Group-commit
+	// mode only.
+	CheckpointBytes int64
+	// MaxPendingDocs bounds the pending-compaction backlog (open
+	// segment plus raw sealed segments); appends beyond it fail with
+	// ErrBackpressure until a compaction drains the backlog. Zero means
+	// unlimited.
+	MaxPendingDocs int
 }
 
 // resource is one closable a view references — a segment reader or the
@@ -156,11 +195,17 @@ func (v *view) sealed() int { return v.starts[len(v.segs)] }
 type Collection struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	mu         sync.Mutex // serializes all mutations and manifest publishes
 	man        *Manifest  // current manifest (guarded by mu)
 	compacting bool       // guarded by mu
 	closed     bool       // guarded by mu
+
+	// wal is the group-commit write-ahead log; nil in SyncAppends and
+	// Async modes. Enqueues happen under mu; the commit waits do not.
+	wal             *wal.Log
+	checkpointBytes int64
 
 	view atomic.Pointer[view]
 
@@ -180,18 +225,29 @@ func Init(dir string) error {
 }
 
 // Open opens the collection at dir (or its manifest path), recovering
-// the open append segment if the last process died mid-write.
-// archive.Open dispatches here automatically when it sees a collection
-// manifest, so read-only callers never call this directly.
+// the open append segment if the last process died mid-write and
+// replaying any write-ahead log records the segment had not yet
+// absorbed. archive.Open dispatches here automatically when it sees a
+// collection manifest, so read-only callers never call this directly.
 func Open(dir string, opts Options) (*Collection, error) {
+	if opts.SyncAppends && opts.Async {
+		return nil, fmt.Errorf("collection: SyncAppends and Async are mutually exclusive")
+	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
 	if st, err := os.Stat(dir); err == nil && !st.IsDir() {
 		dir = filepath.Dir(dir)
 	}
-	man, err := ReadManifest(filepath.Join(dir, ManifestName))
+	man, err := readManifest(opts.FS, filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
 	}
-	c := &Collection{dir: dir, opts: opts, man: man}
+	c := &Collection{dir: dir, opts: opts, fs: opts.FS, man: man,
+		checkpointBytes: opts.CheckpointBytes}
+	if c.checkpointBytes <= 0 {
+		c.checkpointBytes = 4 << 20
+	}
 	v := &view{gen: man.Generation, starts: man.Starts(), tomb: tombSet(man.Tombstones)}
 	for i, s := range man.Segments {
 		sr, err := openSegmentReader(dir, s.Path)
@@ -210,12 +266,16 @@ func Open(dir string, opts Options) (*Collection, error) {
 		}
 	}
 	if man.OpenSeg != "" {
-		v.open, err = recoverOpenSegment(dir, man.OpenSeg, opts.SyncAppends)
+		v.open, err = recoverOpenSegment(c.fs, dir, man.OpenSeg, opts.SyncAppends)
 		if err != nil {
 			c.closeView(v)
 			return nil, err
 		}
 		v.openRes = newResource(closerFunc(v.open.closeFiles))
+	}
+	if err := c.openWAL(v); err != nil {
+		c.closeView(v)
+		return nil, err
 	}
 	// Clamp tombstones to the recovered document count: a tombstone can
 	// be published durably for an append whose bytes were still in OS
@@ -241,7 +301,10 @@ func Open(dir string, opts Options) (*Collection, error) {
 		// manifest, so an in-memory-only clamp would resurrect the stale
 		// tombstones (over freshly re-allocated ids) at the next crash.
 		man.Generation++
-		if err := WriteManifest(dir, man); err != nil {
+		if err := writeManifest(c.fs, dir, man); err != nil {
+			if c.wal != nil {
+				_ = c.wal.Close()
+			}
 			c.closeView(v)
 			return nil, err
 		}
@@ -250,6 +313,72 @@ func Open(dir string, opts Options) (*Collection, error) {
 	v.install()
 	c.view.Store(v)
 	return c, nil
+}
+
+// openWAL opens (or, outside group-commit mode, drains and removes) the
+// collection's write-ahead log and replays surviving records into the
+// recovered open segment. Records the segment already holds durably are
+// skipped; the rest are appended, fsynced, and the log truncated — so
+// every acknowledged append is readable before Open returns, whatever
+// the crash looked like.
+func (c *Collection) openWAL(v *view) error {
+	group := !c.opts.SyncAppends && !c.opts.Async
+	walPath := filepath.Join(c.dir, wal.FileName)
+	if !group {
+		// Per-append-fsync and async modes do not run a WAL, but a log
+		// left by a previous group-commit process may still hold acked
+		// appends — drain it before removing it.
+		if _, err := c.fs.Stat(walPath); err != nil {
+			return nil
+		}
+	}
+	l, recs, err := wal.Open(walPath, wal.Options{FS: c.fs, MaxPending: c.opts.MaxWALPending})
+	if err != nil {
+		return err
+	}
+	replayed := 0
+	if len(recs) > 0 && v.open != nil {
+		// The open segment recovered to a whole-document boundary; WAL
+		// records at or past that boundary are acked appends whose
+		// segment bytes were lost. Re-append them in order. Records
+		// below the boundary are already in the segment (it was fsynced
+		// at or after their checkpoint); a gap cannot occur — the log
+		// is truncated only after the segment durably absorbed it — but
+		// stop defensively rather than misnumber documents.
+		total := uint64(v.sealed() + v.open.count())
+		for _, r := range recs {
+			if r.Seq < total {
+				continue
+			}
+			if r.Seq > total {
+				break
+			}
+			if _, err := v.open.append(r.Doc); err != nil {
+				_ = l.Close()
+				return fmt.Errorf("collection: replaying WAL record %d: %w", r.Seq, err)
+			}
+			total++
+			replayed++
+		}
+	}
+	if replayed > 0 {
+		if err := v.open.syncFiles(); err != nil {
+			_ = l.Close()
+			return fmt.Errorf("collection: syncing WAL replay: %w", err)
+		}
+	}
+	if err := l.Checkpoint(); err != nil {
+		_ = l.Close()
+		return err
+	}
+	if group {
+		c.wal = l
+		return nil
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+	return l.Remove()
 }
 
 // openSegmentReader opens one sealed segment — a single-file archive or
@@ -330,7 +459,7 @@ func cloneView(v *view) *view {
 // Called with mu held.
 func (c *Collection) publishLocked(m *Manifest, v *view) error {
 	m.Generation = c.man.Generation + 1
-	if err := WriteManifest(c.dir, m); err != nil {
+	if err := writeManifest(c.fs, c.dir, m); err != nil {
 		return err
 	}
 	c.man = m
@@ -374,15 +503,88 @@ func (c *Collection) Generation() uint64 { return c.view.Load().gen }
 
 // Append stores one document at the tail of the collection, returning
 // its stable global id. The document is readable immediately — before
-// any seal or compaction — and, with Options.SyncAppends, durable before
-// the call returns. The first append after a seal (or on a fresh
-// collection) creates a new open segment, which publishes a manifest so
-// crash recovery knows where the write head is.
+// any seal or compaction — and durable per the collection's mode: with
+// SyncAppends before the call returns (own fsync), by default when the
+// WAL batch it joined commits (group fsync, still before the call
+// returns), with Async at the next seal or sync. The first append after
+// a seal (or on a fresh collection) creates a new open segment, which
+// publishes a manifest so crash recovery knows where the write head is.
+//
+// ErrBackpressure (which the returned error wraps when the in-flight
+// budget is exhausted) means the append did not happen — back off and
+// retry.
 func (c *Collection) Append(doc []byte) (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	id, wait, err := c.appendLocked(doc)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// AppendBatch appends docs in order, returning the global ids of the
+// appends that were durably acknowledged. All docs join the same WAL
+// commit window, so a batch costs about one fsync regardless of length.
+// On error the returned prefix of ids is still valid and durable; the
+// remaining docs were not appended (or, past the first WAL failure,
+// not acknowledged).
+func (c *Collection) AppendBatch(docs [][]byte) ([]int, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	ids := make([]int, 0, len(docs))
+	waits := make([]func() error, 0, len(docs))
+	c.mu.Lock()
+	var appendErr error
+	for _, doc := range docs {
+		id, wait, err := c.appendLocked(doc)
+		if err != nil {
+			appendErr = err
+			break
+		}
+		ids = append(ids, id)
+		waits = append(waits, wait)
+	}
+	c.mu.Unlock()
+	for i, wait := range waits {
+		if wait == nil {
+			continue
+		}
+		if err := wait(); err != nil {
+			// Everything from this doc on shares the failed commit (or a
+			// poisoned log): acknowledged ids stop here.
+			return ids[:i], err
+		}
+	}
+	return ids, appendErr
+}
+
+// appendLocked admits, stores and (in group-commit mode) logs one
+// document. Called with mu held; the returned wait function — non-nil
+// only in group-commit mode — must be called without mu and blocks
+// until the WAL batch holding the record is durable.
+func (c *Collection) appendLocked(doc []byte) (int, func() error, error) {
 	if c.closed {
-		return 0, fmt.Errorf("collection: append to closed collection")
+		return 0, nil, fmt.Errorf("collection: append to closed collection")
+	}
+	if c.opts.MaxPendingDocs > 0 {
+		if pending := c.pendingDocsLocked(); pending >= c.opts.MaxPendingDocs {
+			return 0, nil, fmt.Errorf("%w; %d documents await compaction", ErrBackpressure, pending)
+		}
+	}
+	if c.wal != nil {
+		// Fail before touching the segment: a doc written but refused by
+		// the log would sit unacknowledged in the segment and still count
+		// against every later id.
+		if err := c.wal.Admit(int64(len(doc))); err != nil {
+			return 0, nil, err
+		}
 	}
 	v := c.view.Load()
 	if v.open == nil {
@@ -395,7 +597,7 @@ func (c *Collection) Append(doc []byte) (int, error) {
 			name = segFileName(m.NextSeq)
 			m.NextSeq++
 			var err error
-			open, err = createOpenSegment(c.dir, name, c.opts.SyncAppends)
+			open, err = createOpenSegment(c.fs, c.dir, name, c.opts.SyncAppends)
 			if err == nil {
 				break
 			}
@@ -407,7 +609,7 @@ func (c *Collection) Append(doc []byte) (int, error) {
 			if os.IsExist(err) {
 				continue
 			}
-			return 0, err
+			return 0, nil, err
 		}
 		m.OpenSeg = name
 		nv := cloneView(v)
@@ -420,15 +622,60 @@ func (c *Collection) Append(doc []byte) (int, error) {
 			// old-or-new-generation recovery contract. If the manifest
 			// never landed they are unreferenced orphans for gc.
 			open.closeFiles()
-			return 0, err
+			return 0, nil, err
 		}
 		v = nv
 	}
 	local, err := v.open.append(doc)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return v.sealed() + local, nil
+	id := v.sealed() + local
+	if c.wal == nil {
+		return id, nil, nil
+	}
+	wait, err := c.wal.Enqueue(uint64(id), doc)
+	if err != nil {
+		// The doc is in the (volatile) segment but will never be acked;
+		// recovery semantics treat it like any unacknowledged append.
+		return 0, nil, err
+	}
+	if c.wal.Size()+c.wal.Pending() >= c.checkpointBytes {
+		c.checkpointLocked(v)
+	}
+	return id, wait, nil
+}
+
+// checkpointLocked makes the open segment durable and truncates the WAL
+// — records the segment has absorbed and fsynced need no replay. Errors
+// are sticky in the respective layer (broken segment, poisoned log) and
+// surface on the next append; the current batch stays correct either
+// way (its records are durable via the segment after a successful
+// syncFiles, via the WAL otherwise).
+func (c *Collection) checkpointLocked(v *view) {
+	if v.open == nil {
+		return
+	}
+	if err := v.open.syncFiles(); err != nil {
+		return
+	}
+	_ = c.wal.Checkpoint()
+}
+
+// pendingDocsLocked counts the compaction backlog: open-segment
+// documents plus documents in raw (uncompacted) sealed segments.
+func (c *Collection) pendingDocsLocked() int {
+	v := c.view.Load()
+	n := 0
+	for _, sr := range v.segs {
+		if sr.Stats().Backend == archive.Raw {
+			n += sr.NumDocs()
+		}
+	}
+	if v.open != nil {
+		n += v.open.count()
+	}
+	return n
 }
 
 // Delete tombstones global id: it returns not-found from every read
@@ -522,9 +769,15 @@ func (c *Collection) sealLocked() error {
 		_ = sr.Close()
 		return err
 	}
+	// Every WAL record is now covered by the sealed (fsynced) segment:
+	// truncate the log. A checkpoint failure only poisons the log — the
+	// seal itself already succeeded — and surfaces on the next append.
+	if c.wal != nil {
+		_ = c.wal.Checkpoint()
+	}
 	// The sidecar file is no longer needed at all (in-flight readers use
 	// the still-open handles, not the name).
-	_ = os.Remove(filepath.Join(c.dir, lensName(open.name)))
+	_ = c.fs.Remove(filepath.Join(c.dir, lensName(open.name)))
 	return nil
 }
 
@@ -810,7 +1063,7 @@ func (c *Collection) GC() ([]string, error) {
 	if c.compacting {
 		return nil, ErrCompacting
 	}
-	keep := map[string]bool{ManifestName: true, DictName: true}
+	keep := map[string]bool{ManifestName: true, DictName: true, wal.FileName: true}
 	for _, s := range c.man.Segments {
 		// Keep the whole first path element: a shard-set segment is a
 		// subdirectory.
@@ -821,7 +1074,7 @@ func (c *Collection) GC() ([]string, error) {
 		keep[c.man.OpenSeg] = true
 		keep[lensName(c.man.OpenSeg)] = true
 	}
-	entries, err := os.ReadDir(c.dir)
+	entries, err := c.fs.ReadDir(c.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -837,7 +1090,7 @@ func (c *Collection) GC() ([]string, error) {
 		if !strings.HasPrefix(name, "seg-") && !strings.HasSuffix(name, ".tmp") {
 			continue
 		}
-		if err := os.RemoveAll(filepath.Join(c.dir, name)); err != nil {
+		if err := c.fs.RemoveAll(filepath.Join(c.dir, name)); err != nil {
 			return removed, err
 		}
 		removed = append(removed, name)
@@ -846,10 +1099,12 @@ func (c *Collection) GC() ([]string, error) {
 	return removed, nil
 }
 
-// Close releases the collection's resources: the current view is marked
-// dying and its segment readers and open-segment handles close as soon
-// as in-flight reads drain (immediately, when none are in flight).
-// Reads arriving after Close race its drain and may return errors.
+// Close releases the collection's resources: the write-ahead log
+// flushes its queued batch (in-flight Appends get their final
+// acknowledgment) and closes, then the current view is marked dying and
+// its segment readers and open-segment handles close as soon as
+// in-flight reads drain (immediately, when none are in flight). Reads
+// arriving after Close race its drain and may return errors.
 func (c *Collection) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -857,10 +1112,14 @@ func (c *Collection) Close() error {
 		return nil
 	}
 	c.closed = true
+	var err error
+	if c.wal != nil {
+		err = c.wal.Close()
+	}
 	v := c.view.Load()
 	v.dying.Store(true)
 	v.unref()
-	return nil
+	return err
 }
 
 // FromReader unwraps r (through any wrappers) to the live Collection,

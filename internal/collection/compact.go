@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"rlz/internal/archive"
+	"rlz/internal/faultfs"
 	"rlz/internal/rlz"
 )
 
@@ -111,9 +112,9 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 	built := make([]string, len(runs))
 	for i := range runs {
 		name := segFileName(runs[i].seq)
-		if err := buildRunSegment(c.dir, name, &runs[i], tomb, aopts); err != nil {
+		if err := buildRunSegment(c.fs, c.dir, name, &runs[i], tomb, aopts); err != nil {
 			for _, b := range built[:i] {
-				_ = os.Remove(filepath.Join(c.dir, b))
+				_ = c.fs.Remove(filepath.Join(c.dir, b))
 			}
 			return finish(err)
 		}
@@ -130,7 +131,7 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 			}
 		}
 		for _, b := range built {
-			_ = os.Remove(filepath.Join(c.dir, b))
+			_ = c.fs.Remove(filepath.Join(c.dir, b))
 		}
 	}
 	for i := range runs {
@@ -213,8 +214,8 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 	// be mid-read on them: their readers stay open (retired) and POSIX
 	// keeps unlinked files readable, so removal is safe immediately.
 	for _, p := range superseded {
-		_ = os.RemoveAll(filepath.Join(c.dir, p))
-		_ = os.Remove(filepath.Join(c.dir, lensName(p)))
+		_ = c.fs.RemoveAll(filepath.Join(c.dir, p))
+		_ = c.fs.Remove(filepath.Join(c.dir, lensName(p)))
 	}
 	return res, nil
 }
@@ -289,15 +290,15 @@ func (s *runSource) Next() (archive.Doc, error) {
 // under a live name.
 //
 //rlz:publishes
-func buildRunSegment(dir, name string, r *run, tomb map[int]struct{}, aopts archive.Options) error {
+func buildRunSegment(fs faultfs.FS, dir, name string, r *run, tomb map[int]struct{}, aopts archive.Options) error {
 	tmp := filepath.Join(dir, name+".tmp")
 	src := &runSource{r: r, tomb: tomb, id: r.start}
 	if _, err := archive.Create(tmp, src, aopts); err != nil {
 		return fmt.Errorf("collection: compacting into %s: %w", name, err)
 	}
-	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_RDWR, 0o644)
 	if err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	err = f.Sync()
@@ -305,14 +306,14 @@ func buildRunSegment(dir, name string, r *run, tomb map[int]struct{}, aopts arch
 		err = cerr
 	}
 	if err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		_ = os.Remove(tmp)
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // ensureDict returns the shared prepared compaction dictionary, building
@@ -329,7 +330,7 @@ func (c *Collection) ensureDict(runs []run, tomb map[int]struct{}, opts CompactO
 	persist := len(data) > 0 // caller-supplied bytes become the collection's DICT
 	dictPath := filepath.Join(c.dir, DictName)
 	if len(data) == 0 {
-		if b, err := os.ReadFile(dictPath); err == nil && len(b) > 0 {
+		if b, err := c.fs.ReadFile(dictPath); err == nil && len(b) > 0 {
 			data = b // already persisted; no rewrite needed
 		}
 	}
@@ -354,7 +355,7 @@ func (c *Collection) ensureDict(runs []run, tomb map[int]struct{}, opts CompactO
 		}
 	}
 	if persist {
-		if err := writeFileAtomic(dictPath, data); err != nil {
+		if err := writeFileAtomic(c.fs, dictPath, data); err != nil {
 			return nil, fmt.Errorf("collection: persisting dictionary: %w", err)
 		}
 	}

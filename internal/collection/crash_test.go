@@ -8,7 +8,20 @@ import (
 	"testing"
 
 	"rlz/internal/coding"
+	"rlz/internal/wal"
 )
+
+// dropWAL removes the write-ahead log, for scenarios that simulate the
+// total loss of open-segment documents: with the log present, recovery
+// would (correctly) replay the acknowledged appends the scenario
+// pretends are gone, so these tests model an Async-mode crash where no
+// durable copy exists.
+func dropWAL(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.Remove(filepath.Join(dir, wal.FileName)); err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+}
 
 // Crash-safety suite: every test simulates a process death at one point
 // of the publish or append protocol, then proves reopening sees either
@@ -255,6 +268,7 @@ func TestCrashFirstAppend(t *testing.T) {
 	if err := os.Truncate(filepath.Join(dir, lensName(man.OpenSeg)), 0); err != nil {
 		t.Fatal(err)
 	}
+	dropWAL(t, dir)
 	c2, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -283,6 +297,7 @@ func TestCrashDataFileObliterated(t *testing.T) {
 	if err := os.Truncate(filepath.Join(dir, man.OpenSeg), 2); err != nil {
 		t.Fatal(err)
 	}
+	dropWAL(t, dir)
 	c, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatalf("reopen after obliteration: %v", err)
@@ -316,6 +331,7 @@ func TestCrashMissingLensSidecar(t *testing.T) {
 	if err := os.Remove(filepath.Join(dir, lensName(man.OpenSeg))); err != nil {
 		t.Fatal(err)
 	}
+	dropWAL(t, dir)
 	c, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatalf("reopen without sidecar: %v", err)
@@ -388,6 +404,7 @@ func TestCrashOpenSegmentFileMissing(t *testing.T) {
 	if err := os.Remove(filepath.Join(dir, man.OpenSeg)); err != nil {
 		t.Fatal(err)
 	}
+	dropWAL(t, dir)
 	c, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatalf("reopen without data file: %v", err)
@@ -426,6 +443,7 @@ func TestCrashStaleTombstoneClamped(t *testing.T) {
 	if err := os.Truncate(lens, int64(len(raw)/5*4)); err != nil {
 		t.Fatal(err)
 	}
+	dropWAL(t, dir)
 	c, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)

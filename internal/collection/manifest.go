@@ -37,6 +37,7 @@ import (
 
 	"rlz/internal/archive"
 	"rlz/internal/coding"
+	"rlz/internal/faultfs"
 )
 
 const (
@@ -313,63 +314,59 @@ func UnmarshalManifest(src []byte) (*Manifest, error) {
 // leaves either the previous manifest or the new one — the atomic-swap
 // contract every mutation of a live collection relies on.
 func WriteManifest(dir string, m *Manifest) error {
+	return writeManifest(faultfs.OS, dir, m)
+}
+
+// writeManifest is WriteManifest over an explicit filesystem — the form
+// a live collection uses so fault injection reaches the publish path.
+func writeManifest(fs faultfs.FS, dir string, m *Manifest) error {
 	if err := m.validate(); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, ManifestName), m.Marshal(nil))
+	return writeFileAtomic(fs, filepath.Join(dir, ManifestName), m.Marshal(nil))
 }
 
 // writeFileAtomic writes data to path via tmp+fsync+rename+dir-fsync —
-// the one publish protocol shared by the manifest and the DICT file.
+// the one publish protocol shared by the manifest and the DICT file. A
+// directory-fsync failure propagates (the rename may not be durable);
+// only fs implementations downgrade a genuinely unsupported dir fsync
+// to best-effort.
 //
 //rlz:publishes
-func writeFileAtomic(path string, data []byte) error {
+func writeFileAtomic(fs faultfs.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a just-renamed manifest survives a
-// crash. Best effort on filesystems that reject directory fsync.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil && (errors.Is(err, os.ErrInvalid) || errors.Is(err, os.ErrPermission)) {
-		return nil
-	}
-	return err
+	return fs.SyncDir(filepath.Dir(path))
 }
 
 // ReadManifest reads and validates the manifest file at path.
 func ReadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
+	return readManifest(faultfs.OS, path)
+}
+
+func readManifest(fs faultfs.FS, path string) (*Manifest, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"rlz/internal/coding"
 	"rlz/internal/docmap"
+	"rlz/internal/faultfs"
 	"rlz/internal/mmapio"
 	"rlz/internal/rawstore"
 )
@@ -37,15 +38,19 @@ import (
 // bytes are on the file.
 type openSegment struct {
 	name string
-	f    *os.File // data file: rawstore archive in progress
-	lens *os.File // sidecar: one uvarint per document
+	f    faultfs.File // data file: rawstore archive in progress
+	lens faultfs.File // sidecar: one uvarint per document
 	w    *rawstore.Writer
 	sync bool // fsync data+lens after every append
 
-	// broken is set when an append failed mid-write; the in-memory state
-	// no longer matches the file, so further appends are refused (reads
-	// of already-published documents stay valid). Reopening the
-	// collection re-runs recovery and resumes cleanly.
+	// broken is set when an append or fsync failed mid-write; the
+	// in-memory state no longer matches what is (durably) on the file,
+	// so further appends are refused (reads of already-published
+	// documents stay valid). A failed fsync in particular may have
+	// discarded dirty pages — a later successful fsync would then
+	// acknowledge data the kernel already dropped, so the error is
+	// sticky. Reopening the collection re-runs recovery and resumes
+	// cleanly.
 	broken bool
 
 	mu      sync.RWMutex
@@ -103,6 +108,12 @@ func (s *openSegment) maybeRemap() {
 	if !mmapio.Supported() {
 		return
 	}
+	// A handle without a real descriptor (fault injection) has no
+	// zero-copy path; reads fall back to pread.
+	osf := s.f.Sys()
+	if osf == nil {
+		return
+	}
 	end := s.size()
 	cur := s.mapping.Load()
 	// Remap when the file doubles (so small, fresh segments become
@@ -111,7 +122,7 @@ func (s *openSegment) maybeRemap() {
 	if cur != nil && end-cur.m.Len() < remapStep && end < 2*cur.m.Len() {
 		return
 	}
-	m, err := mmapio.Map(s.f, end)
+	m, err := mmapio.Map(osf, end)
 	if err != nil {
 		return
 	}
@@ -157,21 +168,21 @@ func lensName(name string) string { return name + ".lens" }
 // created exclusively (a leftover with the same name means NextSeq went
 // backwards — fail loudly) and the data file's header is synced before
 // returning, so a manifest naming this segment never points at nothing.
-func createOpenSegment(dir, name string, syncAppends bool) (*openSegment, error) {
-	f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+func createOpenSegment(fs faultfs.FS, dir, name string, syncAppends bool) (*openSegment, error) {
+	f, err := fs.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	w, err := rawstore.NewWriter(f)
 	if err != nil {
 		_ = f.Close()
-		_ = os.Remove(filepath.Join(dir, name))
+		_ = fs.Remove(filepath.Join(dir, name))
 		return nil, err
 	}
-	lens, err := os.OpenFile(filepath.Join(dir, lensName(name)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	lens, err := fs.OpenFile(filepath.Join(dir, lensName(name)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		_ = f.Close()
-		_ = os.Remove(filepath.Join(dir, name))
+		_ = fs.Remove(filepath.Join(dir, name))
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
@@ -196,10 +207,10 @@ func createOpenSegment(dir, name string, syncAppends bool) (*openSegment, error)
 // whole-document boundary. It also discards any footer a crashed seal
 // left behind (the manifest still naming the segment open is the truth;
 // the footer is simply rewritten at the next seal).
-func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error) {
+func recoverOpenSegment(fs faultfs.FS, dir, name string, syncAppends bool) (*openSegment, error) {
 	dataPath := filepath.Join(dir, name)
-	f, err := os.OpenFile(dataPath, os.O_RDWR, 0o644)
-	if os.IsNotExist(err) {
+	f, err := fs.OpenFile(dataPath, os.O_RDWR, 0o644)
+	if err != nil && os.IsNotExist(err) {
 		// The manifest names an open segment whose file never became (or
 		// stopped being) durable — e.g. a crash straddling the publish
 		// whose directory fsync failed. The manifest is the truth about
@@ -207,8 +218,8 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 		// empty rather than refusing to open the collection. A stale
 		// sidecar without data describes nothing recoverable — drop it
 		// so the O_EXCL create succeeds.
-		_ = os.Remove(filepath.Join(dir, lensName(name)))
-		return createOpenSegment(dir, name, syncAppends)
+		_ = fs.Remove(filepath.Join(dir, lensName(name)))
+		return createOpenSegment(fs, dir, name, syncAppends)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("collection: open segment %s: %w", name, err)
@@ -222,7 +233,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 		// The header is synced before the manifest ever names a segment,
 		// so a shorter file means filesystem-level loss; rebuild the
 		// segment empty rather than resuming over a hole.
-		if err := rebuildEmpty(f, filepath.Join(dir, lensName(name))); err != nil {
+		if err := rebuildEmpty(fs, f, filepath.Join(dir, lensName(name))); err != nil {
 			_ = f.Close()
 			return nil, err
 		}
@@ -231,7 +242,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 			return nil, err
 		}
 	}
-	raw, rerr := os.ReadFile(filepath.Join(dir, lensName(name)))
+	raw, rerr := fs.ReadFile(filepath.Join(dir, lensName(name)))
 	if rerr != nil && !os.IsNotExist(rerr) {
 		_ = f.Close()
 		return nil, rerr
@@ -263,7 +274,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 	// authority on boundaries); there is nothing to truncate and the
 	// O_CREATE open below recreates it.
 	if rerr == nil {
-		if err := os.Truncate(filepath.Join(dir, lensName(name)), int64(keep)); err != nil {
+		if err := fs.Truncate(filepath.Join(dir, lensName(name)), int64(keep)); err != nil {
 			_ = f.Close()
 			return nil, err
 		}
@@ -280,7 +291,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 		_ = f.Close()
 		return nil, err
 	}
-	lensf, err := os.OpenFile(filepath.Join(dir, lensName(name)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	lensf, err := fs.OpenFile(filepath.Join(dir, lensName(name)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		_ = f.Close()
 		return nil, err
@@ -299,7 +310,7 @@ func recoverOpenSegment(dir, name string, syncAppends bool) (*openSegment, error
 
 // rebuildEmpty resets a damaged open segment to its just-created state:
 // truncate, rewrite the rawstore header, empty the sidecar.
-func rebuildEmpty(f *os.File, lensPath string) error {
+func rebuildEmpty(fs faultfs.FS, f faultfs.File, lensPath string) error {
 	if err := f.Truncate(0); err != nil {
 		return err
 	}
@@ -312,7 +323,7 @@ func rebuildEmpty(f *os.File, lensPath string) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
-	return os.WriteFile(lensPath, nil, 0o644)
+	return fs.WriteFile(lensPath, nil, 0o644)
 }
 
 // append stores one document, returning its segment-local id. Called
@@ -415,11 +426,24 @@ func (s *openSegment) seal() error {
 // syncFiles fsyncs the data file and sidecar, making every append so
 // far as durable as the next manifest publish. Called with the
 // collection's write lock held.
+//
+// A failed fsync poisons the segment: the kernel may have discarded the
+// dirty pages it could not write, so retrying the fsync later could
+// succeed while the data is already gone — the segment must refuse to
+// acknowledge anything further instead.
 func (s *openSegment) syncFiles() error {
+	if s.broken {
+		return fmt.Errorf("collection: open segment %s failed an earlier append or fsync; reopen the collection", s.name)
+	}
 	if err := s.f.Sync(); err != nil {
+		s.broken = true
 		return err
 	}
-	return s.lens.Sync()
+	if err := s.lens.Sync(); err != nil {
+		s.broken = true
+		return err
+	}
+	return nil
 }
 
 // closeFiles releases both file handles (reads through this openSegment

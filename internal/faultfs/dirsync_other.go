@@ -1,0 +1,8 @@
+//go:build !unix
+
+package faultfs
+
+// dirSyncUnsupported: outside unix, directory fsync is not a defined
+// operation (Windows has no equivalent), so every failure is treated as
+// best-effort rather than a durability error.
+func dirSyncUnsupported(error) bool { return true }

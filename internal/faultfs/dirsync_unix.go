@@ -1,0 +1,22 @@
+//go:build unix
+
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// dirSyncUnsupported reports whether a directory-fsync error means the
+// filesystem simply does not support the operation (safe to treat as
+// best-effort) rather than a real durability failure. On unix the
+// allowlist is deliberately narrow: EINVAL (fsync on a directory not
+// supported by this filesystem), ENOTSUP, and ENOTTY. EIO and friends
+// mean the rename may genuinely not be durable and must propagate.
+func dirSyncUnsupported(err error) bool {
+	return errors.Is(err, os.ErrInvalid) ||
+		errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY)
+}

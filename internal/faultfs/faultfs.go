@@ -1,0 +1,133 @@
+// Package faultfs abstracts the filesystem operations of the durable
+// write path — file creation, writes, fsync, rename, directory fsync —
+// behind an interface with two implementations: OS, a passthrough to the
+// real filesystem, and Sim, a fault-injecting shadow that can fail the
+// Nth fsync, tear a write at a byte offset, drop a rename, or "kill the
+// process" at a scripted step and then materialize exactly the bytes a
+// real crash would have preserved.
+//
+// internal/collection and internal/wal route every durability decision
+// through an FS, so the crash-recovery code that normally only runs
+// after a power failure is exercised deterministically in tests: a
+// scripted Sim drives the write path into a specific failure, Crash
+// rolls the directory back to its durable image, and reopening proves
+// the recovery invariants (acknowledged appends survive, torn tails are
+// invisible).
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of filesystem surface the durable write path uses.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// RemoveAll is os.RemoveAll.
+	RemoveAll(path string) error
+	// Truncate is os.Truncate.
+	Truncate(name string, size int64) error
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile is os.WriteFile.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// Stat is os.Stat.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs directory dir so renames and creates inside it
+	// survive a crash. On platforms where directory fsync is expected to
+	// work (unix) errors are returned to the caller, except for an
+	// explicit unsupported-filesystem allowlist (EINVAL, ENOTSUP,
+	// ENOTTY) where the sync is silently best-effort.
+	SyncDir(dir string) error
+}
+
+// File is one open handle of an FS.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	// Sync is os.File.Sync: on return without error, every byte written
+	// so far is durable.
+	Sync() error
+	// Truncate is os.File.Truncate.
+	Truncate(size int64) error
+	// Stat is os.File.Stat.
+	Stat() (os.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sys returns the underlying *os.File for capabilities that need a
+	// real descriptor (memory mapping), or nil when the handle is
+	// intercepted and has no stable OS-level identity. Callers must
+	// treat nil as "capability unavailable", never as an error.
+	Sys() *os.File
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// SyncDir fsyncs a directory so a just-renamed file survives a crash.
+// A directory fsync failing is a real durability loss on platforms where
+// it is expected to work: the error is returned, and only the explicit
+// unsupported allowlist (EINVAL and friends on filesystems that reject
+// directory fsync, or platforms without the concept) downgrades to
+// best-effort.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && dirSyncUnsupported(err) {
+		return nil
+	}
+	return err
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error)             { return o.f.Write(p) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o osFile) Seek(off int64, whence int) (int64, error) {
+	return o.f.Seek(off, whence)
+}
+func (o osFile) Close() error               { return o.f.Close() }
+func (o osFile) Sync() error                { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error  { return o.f.Truncate(size) }
+func (o osFile) Stat() (os.FileInfo, error) { return o.f.Stat() }
+func (o osFile) Name() string               { return o.f.Name() }
+func (o osFile) Sys() *os.File              { return o.f }

@@ -1,0 +1,418 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return data
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Sys() == nil {
+		t.Fatal("OS file must expose its *os.File")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if got := readFile(t, path); string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimFailNthSync(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	sim.SetScript(Fault{Op: OpSync, N: 2})
+
+	f, err := sim.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync: want ErrInjected, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync (script spent): %v", err)
+	}
+	_ = f.Close()
+}
+
+func TestSimTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	sim.SetScript(Fault{Op: OpWrite, N: 2, Tear: 2})
+
+	path := filepath.Join(dir, "a")
+	f, err := sim.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("tail"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write landed %d bytes, want 2", n)
+	}
+	_ = f.Close()
+	if got := readFile(t, path); string(got) != "headta" {
+		t.Fatalf("volatile content %q, want %q", got, "headta")
+	}
+}
+
+func TestSimDroppedRename(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	src, dst := filepath.Join(dir, "tmp"), filepath.Join(dir, "final")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sim.SetScript(Fault{Op: OpRename})
+	if err := sim.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatal("dropped rename must not move the file")
+	}
+	if err := sim.Rename(src, dst); err != nil {
+		t.Fatalf("second rename (script spent): %v", err)
+	}
+}
+
+// TestSimCrashUnsyncedRename: a rename without a following SyncDir rolls
+// back at crash; with SyncDir it survives.
+func TestSimCrashUnsyncedRename(t *testing.T) {
+	for _, synced := range []bool{false, true} {
+		dir := t.TempDir()
+		sim := NewSim()
+		src, dst := filepath.Join(dir, "tmp"), filepath.Join(dir, "final")
+
+		f, err := sim.OpenFile(src, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Rename(src, dst); err != nil {
+			t.Fatal(err)
+		}
+		if synced {
+			if err := sim.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sim.Crash(0); err != nil {
+			t.Fatal(err)
+		}
+		_, dstErr := os.Stat(dst)
+		_, srcErr := os.Stat(src)
+		if synced {
+			if dstErr != nil {
+				t.Fatalf("synced rename lost: %v", dstErr)
+			}
+			if string(readFile(t, dst)) != "payload" {
+				t.Fatal("synced rename content wrong")
+			}
+			if !os.IsNotExist(srcErr) {
+				t.Fatal("synced rename left src behind")
+			}
+		} else {
+			if !os.IsNotExist(dstErr) {
+				t.Fatal("unsynced rename must roll back")
+			}
+			if srcErr != nil || string(readFile(t, src)) != "payload" {
+				t.Fatalf("src must be restored with synced content: %v", srcErr)
+			}
+		}
+	}
+}
+
+// TestSimCrashJournalPrefix: Crash(keep) makes exactly the first keep
+// journal entries durable.
+func TestSimCrashJournalPrefix(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	mk := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		f, err := sim.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := mk("a.tmp", "A")
+	b := mk("b.tmp", "B")
+	if err := sim.Rename(a, filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Rename(b, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.JournalLen(); got != 2 {
+		t.Fatalf("journal len %d, want 2", got)
+	}
+	if err := sim.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if string(readFile(t, filepath.Join(dir, "a"))) != "A" {
+		t.Fatal("first rename (kept) lost")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatal("second rename (dropped) survived crash")
+	}
+	if string(readFile(t, b)) != "B" {
+		t.Fatal("rolled-back rename must restore src")
+	}
+}
+
+// TestSimCrashUnsyncedCreate: a created file that was never synced does
+// not survive; if only the directory was synced it survives empty.
+func TestSimCrashUnsyncedCreate(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	gone := filepath.Join(dir, "gone")
+	empty := filepath.Join(dir, "empty")
+
+	f, err := sim.OpenFile(gone, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := sim.OpenFile(empty, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("also lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The dir sync happened before "gone" was... no: both were created
+	// before the SyncDir, so both names are durable but neither content
+	// is. Recreate "gone" after the sync to get the never-persisted case.
+	if err := os.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	delete(sim.files, gone)
+	h, err := sim.OpenFile(gone, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sim.Crash(sim.JournalLen()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gone); !os.IsNotExist(err) {
+		t.Fatal("never-synced create must vanish at crash")
+	}
+	if got := readFile(t, empty); len(got) != 0 {
+		t.Fatalf("dir-synced-only create must survive empty, got %q", got)
+	}
+}
+
+func TestSimKill(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	path := filepath.Join(dir, "a")
+	f, err := sim.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	sim.SetScript(Fault{Op: OpAny, Kill: true})
+	if _, err := f.Write([]byte(" extra")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("want ErrKilled, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill sync: want ErrKilled, got %v", err)
+	}
+	if !sim.Killed() {
+		t.Fatal("Killed() should report true")
+	}
+	if _, err := sim.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill open: want ErrKilled, got %v", err)
+	}
+	_ = f.Close()
+	if err := sim.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Killed() {
+		t.Fatal("Crash must lift the kill")
+	}
+	if got := readFile(t, path); string(got) != "durable" {
+		t.Fatalf("after crash got %q, want %q", got, "durable")
+	}
+}
+
+// TestSimKillAtStep: a fault-free dry run counts ops; the same workload
+// replayed with a kill at each step always leaves a recoverable image.
+func TestSimKillAtStep(t *testing.T) {
+	workload := func(sim *Sim, dir string) error {
+		tmp := filepath.Join(dir, "x.tmp")
+		f, err := sim.OpenFile(tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("v1")); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := sim.Rename(tmp, filepath.Join(dir, "x")); err != nil {
+			return err
+		}
+		return sim.SyncDir(dir)
+	}
+
+	dry := NewSim()
+	if err := workload(dry, t.TempDir()); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	steps := dry.Ops()
+	if steps < 4 {
+		t.Fatalf("expected >=4 ops, got %d", steps)
+	}
+	for step := 1; step <= steps; step++ {
+		dir := t.TempDir()
+		sim := NewSim()
+		sim.SetScript(Fault{Op: OpAny, N: step, Kill: true})
+		err := workload(sim, dir)
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("step %d: want ErrKilled, got %v", step, err)
+		}
+		if err := sim.Crash(sim.JournalLen()); err != nil {
+			t.Fatal(err)
+		}
+		// Invariant of the atomic-publish protocol: after any crash,
+		// "x" either does not exist or holds exactly "v1".
+		if data, err := os.ReadFile(filepath.Join(dir, "x")); err == nil {
+			if string(data) != "v1" {
+				t.Fatalf("step %d: torn publish %q", step, data)
+			}
+		} else if !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimWriteFileTear(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	path := filepath.Join(dir, "w")
+	sim.SetScript(Fault{Op: OpWrite, Tear: 3})
+	if err := sim.WriteFile(path, []byte("abcdef"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if got := readFile(t, path); string(got) != "abc" {
+		t.Fatalf("torn WriteFile left %q, want %q", got, "abc")
+	}
+}
+
+func TestSimPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	sim := NewSim()
+	sim.SetScript(Fault{Op: OpSync, Path: "target"})
+	open := func(name string) File {
+		f, err := sim.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	other := open("other")
+	if err := other.Sync(); err != nil {
+		t.Fatalf("non-matching path must not fault: %v", err)
+	}
+	_ = other.Close()
+	target := open("target")
+	if err := target.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	_ = target.Close()
+}

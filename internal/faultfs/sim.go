@@ -1,0 +1,518 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error a scripted fault returns from the faulted
+// operation.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrKilled is returned by every operation after a Kill fault fired: the
+// simulated process is dead and can only touch the filesystem again
+// after Crash resets the simulation.
+var ErrKilled = errors.New("faultfs: process killed")
+
+// Op classifies the mutating operations a Fault can target.
+type Op uint8
+
+const (
+	// OpAny matches every mutating operation — the kill-point harness
+	// uses it to stop the world at a global step number.
+	OpAny Op = iota
+	// OpCreate is OpenFile with O_CREATE.
+	OpCreate
+	// OpWrite is File.Write and WriteFile.
+	OpWrite
+	// OpSync is File.Sync.
+	OpSync
+	// OpRename is Rename.
+	OpRename
+	// OpRemove is Remove and RemoveAll.
+	OpRemove
+	// OpTruncate is Truncate (path or handle).
+	OpTruncate
+	// OpSyncDir is SyncDir.
+	OpSyncDir
+)
+
+var opNames = map[Op]string{
+	OpAny: "any", OpCreate: "create", OpWrite: "write", OpSync: "sync",
+	OpRename: "rename", OpRemove: "remove", OpTruncate: "truncate", OpSyncDir: "syncdir",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Fault is one scripted failure. It fires on the Nth operation matching
+// (Op, Path) and then is spent.
+type Fault struct {
+	// Op selects the operation class; OpAny matches all mutating ops.
+	Op Op
+	// Path, when non-empty, restricts the fault to operations whose
+	// operand path contains it as a substring.
+	Path string
+	// N fires the fault on the Nth matching operation (1-based); values
+	// below 1 mean the first.
+	N int
+	// Tear applies to OpWrite: that many bytes of the faulted write land
+	// on the file before the failure — a torn write.
+	Tear int
+	// Kill marks the fault as a process death: the faulted operation
+	// (and every one after it) fails with ErrKilled until Crash.
+	Kill bool
+
+	matched int
+	fired   bool
+}
+
+// Sim is a fault-injecting FS over a real directory tree. Every
+// operation passes through to the OS (so ordinary readers see the
+// volatile state, exactly like the page cache), while Sim shadows the
+// DURABLE state: the bytes that would still exist after a power loss.
+//
+//   - File.Sync snapshots the file's current content as durable (data
+//     fsync persists content and, as on ext4's journal, the entry).
+//   - Renames and removes are journaled and become durable only at the
+//     parent directory's SyncDir — until then a crash may roll them
+//     back, in journal order (a crash preserves a journal prefix).
+//   - A created file that was never synced does not survive a crash; if
+//     its directory was synced first, it survives as an empty file (the
+//     classic zero-length-file-after-crash outcome).
+//
+// Crash(keep) ends the simulation: the first keep pending journal
+// entries are committed, the rest are dropped, and the durable image is
+// materialized onto the real directory — after which the tree holds
+// exactly what a crashed process would find at reboot, and recovery
+// code can be exercised against it.
+//
+// Limitation: durable tracking is per-path; syncing a handle whose file
+// was renamed since open updates the old path's image. The write
+// protocols under test never sync across a rename, so the simplification
+// is safe here.
+type Sim struct {
+	mu     sync.Mutex
+	script []Fault
+	ops    int
+	counts map[Op]int
+	killed bool
+
+	// files maps cleaned paths to their durable image; absent from the
+	// map means "never touched through Sim" and is left alone by Crash.
+	files map[string]*durImage
+
+	// journal holds directory-level ops (rename, remove) not yet made
+	// durable by a SyncDir, in execution order.
+	journal []dirOp
+}
+
+// durImage is what one path looks like after a crash.
+type durImage struct {
+	exists bool
+	data   []byte
+}
+
+type dirOp struct {
+	rename   bool // else remove
+	src, dst string
+	srcImage durImage // rename: src's durable image at rename time
+}
+
+// NewSim returns a Sim with an empty script: all operations pass
+// through, durable state is tracked from the first touch of each path.
+func NewSim() *Sim {
+	return &Sim{files: make(map[string]*durImage), counts: make(map[Op]int)}
+}
+
+// SetScript installs the fault script, replacing any previous one.
+func (s *Sim) SetScript(faults ...Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.script = append([]Fault(nil), faults...)
+}
+
+// Ops returns the number of mutating operations counted so far — run a
+// workload once fault-free to learn its step count, then script a kill
+// at any step within it.
+func (s *Sim) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// OpCount returns how many operations of class op have been attempted —
+// tests use it to assert batching effects (e.g. fewer fsyncs than
+// appends under group commit).
+func (s *Sim) OpCount(op Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[op]
+}
+
+// Killed reports whether a Kill fault has fired.
+func (s *Sim) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// step counts one mutating operation and consults the script. It
+// returns the fault that fired (nil for none) and the error the
+// operation must return. Called with mu held.
+func (s *Sim) step(op Op, path string) (*Fault, error) {
+	if s.killed {
+		return nil, ErrKilled
+	}
+	s.ops++
+	s.counts[op]++
+	for i := range s.script {
+		f := &s.script[i]
+		if f.fired || (f.Op != OpAny && f.Op != op) || !strings.Contains(path, f.Path) {
+			continue
+		}
+		f.matched++
+		n := f.N
+		if n < 1 {
+			n = 1
+		}
+		if f.matched < n {
+			continue
+		}
+		f.fired = true
+		if f.Kill {
+			s.killed = true
+			return f, ErrKilled
+		}
+		return f, fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+	}
+	return nil, nil
+}
+
+// adopt ensures path's durable image is tracked, snapshotting the real
+// file on first touch (pre-existing files are durable as found). Called
+// with mu held.
+func (s *Sim) adopt(path string) *durImage {
+	path = filepath.Clean(path)
+	if img, ok := s.files[path]; ok {
+		return img
+	}
+	img := &durImage{}
+	if data, err := os.ReadFile(path); err == nil {
+		img.exists = true
+		img.data = data
+	}
+	s.files[path] = img
+	return img
+}
+
+// OpenFile opens path through the OS. Creating flags count as OpCreate;
+// a newly created file is volatile until its first Sync (or an empty
+// durable entry at the parent's SyncDir).
+func (s *Sim) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	s.mu.Lock()
+	if flag&(os.O_CREATE|os.O_WRONLY|os.O_RDWR) != 0 {
+		op := OpWrite
+		if flag&os.O_CREATE != 0 {
+			op = OpCreate
+		}
+		s.adopt(name)
+		if _, err := s.step(op, name); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	} else if s.killed {
+		s.mu.Unlock()
+		return nil, ErrKilled
+	}
+	s.mu.Unlock()
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &simFile{sim: s, f: f, path: filepath.Clean(name)}, nil
+}
+
+func (s *Sim) Rename(oldpath, newpath string) error {
+	s.mu.Lock()
+	src := s.adopt(oldpath)
+	s.adopt(newpath)
+	if _, err := s.step(OpRename, oldpath); err != nil {
+		s.mu.Unlock()
+		return err // dropped rename: nothing moved
+	}
+	s.journal = append(s.journal, dirOp{
+		rename: true,
+		src:    filepath.Clean(oldpath),
+		dst:    filepath.Clean(newpath),
+		srcImage: durImage{exists: src.exists,
+			data: append([]byte(nil), src.data...)},
+	})
+	s.mu.Unlock()
+	return os.Rename(oldpath, newpath)
+}
+
+func (s *Sim) Remove(name string) error {
+	s.mu.Lock()
+	s.adopt(name)
+	if _, err := s.step(OpRemove, name); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.journal = append(s.journal, dirOp{src: filepath.Clean(name)})
+	s.mu.Unlock()
+	return os.Remove(name)
+}
+
+func (s *Sim) RemoveAll(path string) error {
+	s.mu.Lock()
+	s.adopt(path)
+	if _, err := s.step(OpRemove, path); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.journal = append(s.journal, dirOp{src: filepath.Clean(path)})
+	s.mu.Unlock()
+	return os.RemoveAll(path)
+}
+
+func (s *Sim) Truncate(name string, size int64) error {
+	s.mu.Lock()
+	s.adopt(name)
+	if _, err := s.step(OpTruncate, name); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	return os.Truncate(name, size)
+}
+
+func (s *Sim) ReadFile(name string) ([]byte, error) {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return nil, ErrKilled
+	}
+	s.mu.Unlock()
+	return os.ReadFile(name)
+}
+
+func (s *Sim) WriteFile(name string, data []byte, perm os.FileMode) error {
+	s.mu.Lock()
+	s.adopt(name)
+	f, err := s.step(OpWrite, name)
+	if err != nil {
+		if f != nil && f.Tear > 0 {
+			tear := f.Tear
+			if tear > len(data) {
+				tear = len(data)
+			}
+			_ = os.WriteFile(name, data[:tear], perm)
+		}
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	return os.WriteFile(name, data, perm)
+}
+
+func (s *Sim) Stat(name string) (os.FileInfo, error) {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return nil, ErrKilled
+	}
+	s.mu.Unlock()
+	return os.Stat(name)
+}
+
+func (s *Sim) ReadDir(name string) ([]os.DirEntry, error) {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return nil, ErrKilled
+	}
+	s.mu.Unlock()
+	return os.ReadDir(name)
+}
+
+// SyncDir commits the pending journal entries under dir and persists
+// the existence of created-but-never-synced files there (with empty
+// durable content: a dir fsync persists names, not data).
+func (s *Sim) SyncDir(dir string) error {
+	s.mu.Lock()
+	if _, err := s.step(OpSyncDir, dir); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	dir = filepath.Clean(dir)
+	kept := s.journal[:0]
+	for _, e := range s.journal {
+		if filepath.Dir(e.src) == dir || (e.rename && filepath.Dir(e.dst) == dir) {
+			s.apply(e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	s.journal = kept
+	for path, img := range s.files {
+		if filepath.Dir(path) != dir || img.exists {
+			continue
+		}
+		if _, err := os.Stat(path); err == nil {
+			img.exists = true
+			img.data = nil
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// apply commits one journal entry to the durable image. Called with mu
+// held.
+func (s *Sim) apply(e dirOp) {
+	if e.rename {
+		img := s.adopt(e.dst)
+		img.exists = e.srcImage.exists
+		img.data = append([]byte(nil), e.srcImage.data...)
+		src := s.adopt(e.src)
+		src.exists = false
+		src.data = nil
+		return
+	}
+	img := s.adopt(e.src)
+	img.exists = false
+	img.data = nil
+}
+
+// Crash ends the simulated process: the first keep pending journal
+// entries become durable (a crash preserves a prefix of the journal),
+// the rest are lost, and every tracked path is rewritten to its durable
+// image. The Sim is then reset (script spent, kill lifted) so the same
+// instance can drive recovery — possibly under a fresh script.
+func (s *Sim) Crash(keep int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keep > len(s.journal) {
+		keep = len(s.journal)
+	}
+	for _, e := range s.journal[:keep] {
+		s.apply(e)
+	}
+	s.journal = nil
+	s.killed = false
+	s.script = nil
+	for path, img := range s.files {
+		if img.exists {
+			if err := os.WriteFile(path, img.data, 0o644); err != nil {
+				return err
+			}
+		} else if err := os.RemoveAll(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JournalLen returns the number of pending (not yet dir-synced)
+// directory operations — the upper bound for Crash's keep argument.
+func (s *Sim) JournalLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.journal)
+}
+
+// simFile is one Sim handle over a real file.
+type simFile struct {
+	sim  *Sim
+	f    *os.File
+	path string
+}
+
+func (f *simFile) Write(p []byte) (int, error) {
+	f.sim.mu.Lock()
+	ft, err := f.sim.step(OpWrite, f.path)
+	f.sim.mu.Unlock()
+	if err != nil {
+		if ft != nil && ft.Tear > 0 {
+			tear := ft.Tear
+			if tear > len(p) {
+				tear = len(p)
+			}
+			n, _ := f.f.Write(p[:tear])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
+	f.sim.mu.Lock()
+	killed := f.sim.killed
+	f.sim.mu.Unlock()
+	if killed {
+		return 0, ErrKilled
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *simFile) Seek(off int64, whence int) (int64, error) {
+	return f.f.Seek(off, whence)
+}
+
+// Close always releases the real descriptor — a simulated death must
+// not leak handles in the hosting test process.
+func (f *simFile) Close() error {
+	err := f.f.Close()
+	f.sim.mu.Lock()
+	killed := f.sim.killed
+	f.sim.mu.Unlock()
+	if killed {
+		return ErrKilled
+	}
+	return err
+}
+
+// Sync fsyncs the real file and snapshots its content as durable.
+func (f *simFile) Sync() error {
+	f.sim.mu.Lock()
+	if _, err := f.sim.step(OpSync, f.path); err != nil {
+		f.sim.mu.Unlock()
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		f.sim.mu.Unlock()
+		return err
+	}
+	img := f.sim.adopt(f.path)
+	data, err := os.ReadFile(f.path)
+	if err != nil {
+		f.sim.mu.Unlock()
+		return err
+	}
+	img.exists = true
+	img.data = data
+	f.sim.mu.Unlock()
+	return nil
+}
+
+func (f *simFile) Truncate(size int64) error {
+	f.sim.mu.Lock()
+	if _, err := f.sim.step(OpTruncate, f.path); err != nil {
+		f.sim.mu.Unlock()
+		return err
+	}
+	f.sim.mu.Unlock()
+	return f.f.Truncate(size)
+}
+
+func (f *simFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+func (f *simFile) Name() string               { return f.path }
+
+// Sys returns nil: Sim handles have no stable OS identity for mmap —
+// fault tests exercise the pread fallback, not zero-copy views.
+func (f *simFile) Sys() *os.File { return nil }

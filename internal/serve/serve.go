@@ -122,14 +122,21 @@ type Server struct {
 	workers int
 	pool    sync.Pool // *[]byte scratch buffers for Do and GetBatch
 
-	requests atomic.Int64
-	errors   atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
-	decoded  atomic.Int64 // bytes decoded by the backend (cache misses)
-	served   atomic.Int64 // bytes handed to callers (hits + misses)
-	lat      latHist
+	requests     atomic.Int64
+	errors       atomic.Int64
+	backpressure atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	decoded      atomic.Int64 // bytes decoded by the backend (cache misses)
+	served       atomic.Int64 // bytes handed to callers (hits + misses)
+	lat          latHist
 }
+
+// RecordBackpressure counts one write shed by admission control — rlzd
+// calls it for every 429 it answers, so the pressure the daemon is under
+// shows up in /stats next to the error count (backpressure responses are
+// deliberate load shedding, not errors).
+func (s *Server) RecordBackpressure() { s.backpressure.Add(1) }
 
 // New wraps r in a Server. The Server does not take ownership of r;
 // close the Reader after the Server is quiesced (or replace it with
@@ -497,6 +504,7 @@ func (s *Server) Stats() Stats {
 		ArchiveSize:  e.h.r.Size(),
 		Requests:     s.requests.Load(),
 		Errors:       s.errors.Load(),
+		Backpressure: s.backpressure.Load(),
 		CacheHits:    s.hits.Load(),
 		CacheMisses:  s.misses.Load(),
 		CachedDocs:   cached,

@@ -63,6 +63,7 @@ type Stats struct {
 	ArchiveSize  int64  `json:"archive_size_bytes"`
 	Requests     int64  `json:"requests"`
 	Errors       int64  `json:"errors"`
+	Backpressure int64  `json:"backpressure"`
 	CacheHits    int64  `json:"cache_hits"`
 	CacheMisses  int64  `json:"cache_misses"`
 	CachedDocs   int    `json:"cached_docs"`

@@ -1,0 +1,474 @@
+// Package wal implements a group-commit write-ahead log for the
+// collection's open segment.
+//
+// Appenders enqueue CRC-framed records and block on a commit notifier;
+// a single committer goroutine batches everything queued since the last
+// fsync into one write+fsync and wakes all waiters. One disk flush thus
+// amortizes over every append that arrived while the previous flush was
+// in flight — the batched-flush lifecycle that lets durable appends run
+// at a large fraction of non-durable throughput.
+//
+// The log is a redo log only: records are replayed into the open
+// segment at recovery and the file is truncated back to its header once
+// the segment has absorbed and fsynced them (checkpoint). A torn tail —
+// the crash landing mid-frame — is detected by the frame CRC and
+// discarded on open.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rlz/internal/faultfs"
+)
+
+// FileName is the log's file name inside the collection directory.
+const FileName = "WAL"
+
+var (
+	// ErrBackpressure is returned when the log's in-flight byte budget
+	// is exhausted: the caller should back off and retry rather than
+	// queue unboundedly. rlzd maps it to HTTP 429.
+	ErrBackpressure = errors.New("wal: backpressure: in-flight byte budget exhausted")
+
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: closed")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	headerSize = 8 // magic "RLZWAL" + u16 version
+	walVersion = 1
+	// frame: u32 payload length + u32 CRC32-C(payload) + payload
+	frameHeader = 8
+	// maxRecord bounds a single frame's payload so a corrupt length
+	// field cannot trigger a giant allocation during recovery.
+	maxRecord = 1 << 30
+)
+
+var headerMagic = [6]byte{'R', 'L', 'Z', 'W', 'A', 'L'}
+
+// Record is one logged append: the document's global id and its bytes.
+type Record struct {
+	Seq uint64
+	Doc []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem to operate on; nil means faultfs.OS.
+	FS faultfs.FS
+	// MaxPending bounds the bytes enqueued but not yet fsynced; an
+	// append that would exceed it fails with ErrBackpressure (a single
+	// record is always admitted on an empty queue, however large).
+	// Zero means 8 MiB.
+	MaxPending int64
+}
+
+// batch accumulates the frames enqueued since the committer last took
+// work. All its waiters share one done channel and one error.
+type batch struct {
+	buf  []byte
+	done chan struct{}
+	err  error
+}
+
+// Log is a group-commit write-ahead log. Safe for concurrent use.
+type Log struct {
+	fs         faultfs.FS
+	path       string
+	maxPending int64
+
+	// mu guards the enqueue side.
+	mu      sync.Mutex
+	cur     *batch
+	pending int64 // bytes enqueued, not yet flushed (or discarded)
+	poison  error // sticky: set on first failed write/fsync
+	closed  bool
+
+	// ioMu serializes file I/O between the committer and Checkpoint.
+	ioMu sync.Mutex
+	f    faultfs.File
+	wErr error // sticky I/O-side twin of poison
+
+	// size is atomic, not ioMu-guarded: Size is polled on every append
+	// (the checkpoint trigger), and taking ioMu there would stall each
+	// append behind the in-flight fsync — serializing the write path and
+	// defeating group commit.
+	size atomic.Int64 // bytes written to the file (header included)
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the log at path and replays its
+// surviving records. A torn tail is truncated away; the returned
+// records are complete, CRC-verified frames in append order. The caller
+// replays them into the open segment before accepting new appends.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	maxPending := opts.MaxPending
+	if maxPending <= 0 {
+		maxPending = 8 << 20
+	}
+
+	data, err := fs.ReadFile(path)
+	created := false
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		created = true
+	default:
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	var recs []Record
+	valid := int64(headerSize)
+	if !created {
+		recs, valid, err = parse(data)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if created {
+		var hdr [headerSize]byte
+		copy(hdr[:], headerMagic[:])
+		binary.LittleEndian.PutUint16(hdr[6:], walVersion)
+		if _, err := f.Write(hdr[:]); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("wal: init %s: %w", path, err)
+		}
+		// Make the log's existence durable alongside its header.
+		if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("wal: sync dir: %w", err)
+		}
+	} else if valid < int64(len(data)) {
+		// Discard the torn tail so new frames never abut garbage.
+		if err := f.Truncate(valid); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("wal: seek: %w", err)
+	}
+
+	l := &Log{
+		fs:         fs,
+		path:       path,
+		maxPending: maxPending,
+		f:          f,
+		kick:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	l.size.Store(valid)
+	go l.run()
+	return l, recs, nil
+}
+
+// parse scans the log image, returning the complete records and the
+// byte offset of the last valid frame's end. A bad header is an error;
+// a bad or short frame just ends the scan (torn tail).
+func parse(data []byte) ([]Record, int64, error) {
+	if len(data) < headerSize {
+		// The file itself was torn during creation: treat as empty.
+		return nil, headerSize, nil
+	}
+	if [6]byte(data[:6]) != headerMagic {
+		return nil, 0, fmt.Errorf("wal: bad magic %q", data[:6])
+	}
+	if v := binary.LittleEndian.Uint16(data[6:8]); v != walVersion {
+		return nil, 0, fmt.Errorf("wal: unsupported version %d", v)
+	}
+	var recs []Record
+	off := int64(headerSize)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxRecord || int64(len(rest)) < frameHeader+n {
+			break
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		seq, sn := binary.Uvarint(payload)
+		if sn <= 0 {
+			break
+		}
+		doc := make([]byte, len(payload)-sn)
+		copy(doc, payload[sn:])
+		recs = append(recs, Record{Seq: seq, Doc: doc})
+		off += frameHeader + n
+	}
+	return recs, off, nil
+}
+
+// frame encodes one record, appending to dst.
+func frame(dst []byte, seq uint64, doc []byte) []byte {
+	var seqBuf [binary.MaxVarintLen64]byte
+	sn := binary.PutUvarint(seqBuf[:], seq)
+	n := sn + len(doc)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+	crc := crc32.Checksum(seqBuf[:sn], castagnoli)
+	crc = crc32.Update(crc, castagnoli, doc)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, seqBuf[:sn]...)
+	return append(dst, doc...)
+}
+
+// Enqueue adds one record to the current batch and returns a wait
+// function that blocks until the batch is durable (or failed). The
+// record is NOT durable until wait returns nil.
+//
+// Enqueue itself never blocks on I/O: when the in-flight budget is
+// exhausted it fails fast with ErrBackpressure instead.
+func (l *Log) Enqueue(seq uint64, doc []byte) (func() error, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if l.poison != nil {
+		return nil, l.poison
+	}
+	need := int64(frameHeader + binary.MaxVarintLen64 + len(doc))
+	if l.pending > 0 && l.pending+need > l.maxPending {
+		return nil, fmt.Errorf("%w (%d bytes in flight)", ErrBackpressure, l.pending)
+	}
+	if l.cur == nil {
+		l.cur = &batch{done: make(chan struct{})}
+	}
+	b := l.cur
+	before := len(b.buf)
+	b.buf = frame(b.buf, seq, doc)
+	l.pending += int64(len(b.buf) - before)
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return func() error {
+		<-b.done
+		return b.err
+	}, nil
+}
+
+// Admit reports whether a record with an n-byte payload could enqueue
+// right now: ErrBackpressure when the in-flight budget is exhausted,
+// the sticky poison error after a failed commit, nil otherwise. Callers
+// use it to fail fast before doing work whose record the log would then
+// refuse.
+func (l *Log) Admit(n int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.poison != nil {
+		return l.poison
+	}
+	need := int64(frameHeader+binary.MaxVarintLen64) + n
+	if l.pending > 0 && l.pending+need > l.maxPending {
+		return fmt.Errorf("%w (%d bytes in flight)", ErrBackpressure, l.pending)
+	}
+	return nil
+}
+
+// Pending returns the bytes enqueued but not yet flushed.
+func (l *Log) Pending() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// Size returns the bytes written to the log file so far — the
+// collection checkpoints once this passes its threshold. Lock-free, so
+// the append path can poll it without waiting on an in-flight commit.
+func (l *Log) Size() int64 {
+	return l.size.Load()
+}
+
+// Err returns the sticky poison error, if any: after a failed write or
+// fsync the kernel may have dropped dirty pages, so the log refuses all
+// further work rather than retry-and-lie.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poison
+}
+
+// run is the committer: it drains whatever accumulated since the last
+// flush into a single write+fsync and wakes that batch's waiters.
+//
+// The Gosched before each flush is the group-commit window: waiters
+// woken by the previous flush are runnable but have not re-enqueued
+// yet, and yielding once lets them join the batch about to be taken.
+// Without it the committer snatches the batch the instant the first
+// appender kicks, committing near-singleton batches and paying a full
+// fsync per append under concurrency. With nothing else runnable the
+// yield is nanoseconds, so an idle log commits a lone append promptly.
+func (l *Log) run() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.kick:
+			runtime.Gosched()
+			l.flush()
+		case <-l.quit:
+			l.flush()
+			return
+		}
+	}
+}
+
+func (l *Log) flush() {
+	l.mu.Lock()
+	b := l.cur
+	l.cur = nil
+	l.mu.Unlock()
+	if b == nil {
+		return
+	}
+
+	l.ioMu.Lock()
+	err := l.wErr
+	if err == nil {
+		if _, werr := l.f.Write(b.buf); werr != nil {
+			err = werr
+		} else if serr := l.f.Sync(); serr != nil {
+			err = serr
+		}
+		if err != nil {
+			l.wErr = err
+		} else {
+			l.size.Add(int64(len(b.buf)))
+		}
+	}
+	l.ioMu.Unlock()
+
+	l.mu.Lock()
+	l.pending -= int64(len(b.buf))
+	if err != nil && l.poison == nil {
+		l.poison = fmt.Errorf("wal: poisoned by failed commit: %w", err)
+	}
+	l.mu.Unlock()
+
+	b.err = err
+	close(b.done)
+}
+
+// Checkpoint truncates the log back to its header. The caller must
+// already have made every logged record durable elsewhere (the open
+// segment fsynced) — including records still waiting in the current
+// batch, whose waiters are completed successfully without touching disk
+// since their bytes are durable via the segment.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.poison; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	b := l.cur
+	l.cur = nil
+	if b != nil {
+		l.pending -= int64(len(b.buf))
+	}
+	l.mu.Unlock()
+	if b != nil {
+		b.err = nil
+		close(b.done)
+	}
+
+	l.ioMu.Lock()
+	err := l.wErr
+	if err == nil {
+		if terr := l.f.Truncate(headerSize); terr != nil {
+			err = terr
+		} else if _, serr := l.f.Seek(headerSize, io.SeekStart); serr != nil {
+			err = serr
+		} else if ferr := l.f.Sync(); ferr != nil {
+			err = ferr
+		}
+		if err != nil {
+			l.wErr = err
+		} else {
+			l.size.Store(headerSize)
+		}
+	}
+	l.ioMu.Unlock()
+
+	if err != nil {
+		l.mu.Lock()
+		if l.poison == nil {
+			l.poison = fmt.Errorf("wal: poisoned by failed checkpoint: %w", err)
+		}
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Close flushes any queued batch, stops the committer, and closes the
+// file. Records that were enqueued but never flushed get the flush's
+// error through their wait functions.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	return l.f.Close()
+}
+
+// Remove deletes the log file; used when a collection is switched to a
+// mode that does not use the WAL. Call only after Close.
+func (l *Log) Remove() error {
+	err := l.fs.Remove(l.path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -3,14 +3,26 @@ package workload
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rlz/internal/wal"
 )
+
+// ErrBackpressure aliases the store's admission-control sentinel: an
+// operation that failed because the server shed it (HTTP 429, or a
+// direct collection append over budget) wraps this error. RunMixed
+// counts such failures separately from real errors — a load generator
+// that reports shed writes as failures can't tell an overloaded server
+// from a broken one.
+var ErrBackpressure = wal.ErrBackpressure
 
 // Getter is the one-method view of a document server the load generator
 // drives: internal/serve.Server, any archive.Reader, and HTTPGetter all
@@ -94,12 +106,13 @@ func Run(g Getter, ids []int, concurrency int) Result {
 
 // MixedResult summarizes one closed-loop mixed read/append run.
 type MixedResult struct {
-	Reads       int64         // read operations issued
-	Appends     int64         // append operations issued
-	Errors      int64         // operations that returned an error
-	ReadBytes   int64         // document bytes received by reads
-	AppendBytes int64         // document bytes submitted by appends
-	Elapsed     time.Duration // wall time of the whole run
+	Reads        int64         // read operations issued
+	Appends      int64         // append operations issued
+	Errors       int64         // operations that returned an error
+	Backpressure int64         // appends shed by admission control (not in Errors)
+	ReadBytes    int64         // document bytes received by reads
+	AppendBytes  int64         // document bytes submitted by appends
+	Elapsed      time.Duration // wall time of the whole run
 }
 
 // Throughput returns the total operation rate in ops per second.
@@ -147,7 +160,7 @@ func RunMixed(g Getter, a Appender, ids []int, docs [][]byte, concurrency int) M
 			reads++
 		}
 	}
-	var next, errs, nReads, nAppends, readBytes, appendBytes atomic.Int64
+	var next, errs, shed, nReads, nAppends, readBytes, appendBytes atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
@@ -164,7 +177,11 @@ func RunMixed(g Getter, a Appender, ids []int, docs [][]byte, concurrency int) M
 					doc := docs[opIdx[i]]
 					nAppends.Add(1)
 					if _, err := a.Append(doc); err != nil {
-						errs.Add(1)
+						if errors.Is(err, ErrBackpressure) {
+							shed.Add(1)
+						} else {
+							errs.Add(1)
+						}
 						continue
 					}
 					appendBytes.Add(int64(len(doc)))
@@ -186,6 +203,7 @@ func RunMixed(g Getter, a Appender, ids []int, docs [][]byte, concurrency int) M
 	res.Reads = nReads.Load()
 	res.Appends = nAppends.Load()
 	res.Errors = errs.Load()
+	res.Backpressure = shed.Load()
 	res.ReadBytes = readBytes.Load()
 	res.AppendBytes = appendBytes.Load()
 	return res
@@ -194,9 +212,36 @@ func RunMixed(g Getter, a Appender, ids []int, docs [][]byte, concurrency int) M
 // HTTPGetter adapts a running rlzd daemon to the Getter interface, so the
 // same load generator drives the in-process Server and the HTTP serving
 // path. Safe for concurrent use (http.Client is).
+//
+// Appends honor the daemon's admission control: a 429 response is
+// retried with capped exponential backoff plus jitter (respecting
+// Retry-After when the server sends one); when the retries are
+// exhausted the append fails with an error wrapping ErrBackpressure.
 type HTTPGetter struct {
 	BaseURL string       // e.g. "http://localhost:8087"
 	Client  *http.Client // nil means http.DefaultClient
+	// MaxRetries caps how many times a 429 append response is retried
+	// before giving up. Zero means 4; negative disables retries.
+	MaxRetries int
+}
+
+// backoffCap bounds one backoff sleep: past it, more waiting only
+// stretches the closed loop without letting the server drain any faster.
+const backoffCap = 2 * time.Second
+
+// backoffDelay picks the sleep before retry number attempt (0-based):
+// the server's Retry-After when given, else an exponential ramp from
+// 5ms — both capped and full-jittered (uniform in [d/2, 3d/2)) so a
+// fleet of shed writers does not reconverge on the same instant.
+func backoffDelay(attempt int, retryAfter string) time.Duration {
+	d := 5 * time.Millisecond << min(attempt, 10)
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // errBodyLimit caps how much of a non-200 response body is captured for
@@ -237,29 +282,53 @@ func (h *HTTPGetter) GetAppend(dst []byte, id int) ([]byte, error) {
 
 // Append submits POST {BaseURL}/append with doc as the raw body,
 // returning the stable id the daemon assigned — the write half of the
-// mixed workload against a live rlzd.
+// mixed workload against a live rlzd. A 429 response is retried with
+// backoff up to MaxRetries times; exhausting them returns an error
+// wrapping ErrBackpressure.
 func (h *HTTPGetter) Append(doc []byte) (int, error) {
+	retries := h.MaxRetries
+	if retries == 0 {
+		retries = 4
+	} else if retries < 0 {
+		retries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		id, retryAfter, err := h.appendOnce(doc)
+		if err == nil || !errors.Is(err, ErrBackpressure) || attempt >= retries {
+			return id, err
+		}
+		time.Sleep(backoffDelay(attempt, retryAfter))
+	}
+}
+
+// appendOnce issues one POST /append, returning the Retry-After header
+// value alongside a backpressure error so the retry loop can honor it.
+func (h *HTTPGetter) appendOnce(doc []byte) (int, string, error) {
 	c := h.Client
 	if c == nil {
 		c = http.DefaultClient
 	}
 	resp, err := c.Post(h.BaseURL+"/append", "application/octet-stream", bytes.NewReader(doc))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
-		return 0, fmt.Errorf("workload: POST /append: %s: %s", resp.Status, body)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return 0, resp.Header.Get("Retry-After"),
+				fmt.Errorf("workload: POST /append: %s: %s: %w", resp.Status, body, ErrBackpressure)
+		}
+		return 0, "", fmt.Errorf("workload: POST /append: %s: %s", resp.Status, body)
 	}
 	var out struct {
 		ID int `json:"id"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&out); err != nil {
-		return 0, fmt.Errorf("workload: POST /append response: %w", err)
+		return 0, "", fmt.Errorf("workload: POST /append response: %w", err)
 	}
-	return out.ID, nil
+	return out.ID, "", nil
 }
 
 // readAppend is io.ReadAll into an existing buffer: the response body is

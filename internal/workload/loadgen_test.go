@@ -258,3 +258,82 @@ func TestRunMixedEdgeShapes(t *testing.T) {
 		t.Fatalf("empty mixed run: %+v", res)
 	}
 }
+
+// TestHTTPAppendRetriesBackpressure: 429 responses are retried with
+// backoff until the server admits the write, honoring Retry-After.
+func TestHTTPAppendRetriesBackpressure(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "wal backlog full", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintln(w, `{"id":7}`)
+	}))
+	defer ts.Close()
+	hg := &HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}
+	id, err := hg.Append([]byte("persistent"))
+	if err != nil {
+		t.Fatalf("Append across backpressure: %v", err)
+	}
+	if id != 7 {
+		t.Fatalf("id = %d, want 7", id)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 shed + 1 admitted)", got)
+	}
+}
+
+// TestHTTPAppendBackpressureExhausted: when every retry is shed the
+// error wraps ErrBackpressure so callers can classify the shed write.
+func TestHTTPAppendBackpressureExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "still full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	hg := &HTTPGetter{BaseURL: ts.URL, Client: ts.Client(), MaxRetries: 2}
+	if _, err := hg.Append([]byte("doomed")); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("exhausted retries = %v, want ErrBackpressure", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+	// Negative MaxRetries disables retrying entirely.
+	hits.Store(0)
+	hg.MaxRetries = -1
+	if _, err := hg.Append([]byte("one shot")); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("no-retry append = %v, want ErrBackpressure", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// shedAppender fails every append with the admission-control sentinel.
+type shedAppender struct{ calls atomic.Int64 }
+
+func (s *shedAppender) Append(doc []byte) (int, error) {
+	s.calls.Add(1)
+	return 0, fmt.Errorf("over budget: %w", ErrBackpressure)
+}
+
+// TestRunMixedCountsBackpressureSeparately: shed appends land in
+// Backpressure, not Errors — an overloaded server is not a broken one.
+func TestRunMixedCountsBackpressureSeparately(t *testing.T) {
+	g := &fakeGetter{docs: fakeDocs(10)}
+	a := &shedAppender{}
+	res := RunMixed(g, a, Sequential(10, 20), fakeDocs(5), 4)
+	if res.Errors != 0 {
+		t.Fatalf("shed appends counted as errors: %+v", res)
+	}
+	if res.Backpressure != 5 {
+		t.Fatalf("Backpressure = %d, want 5", res.Backpressure)
+	}
+	if res.Appends != 5 || res.Reads != 20 {
+		t.Fatalf("op counts: %+v", res)
+	}
+}
