@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rlz/internal/collection"
+	"rlz/internal/corpus"
+)
+
+// dictRounds generates the drifted append workload of the dictionary
+// trajectory (BENCH_dict.json): each round is a fresh crawl slice of
+// the same profile under a different seed, so the vocabulary, hosts and
+// site templates shift between rounds — the content drift that makes a
+// round-0 dictionary go stale and that adaptive re-sampling exists to
+// chase.
+func dictRounds(p corpus.Profile, rounds, roundBytes int, seed int64) [][][]byte {
+	out := make([][][]byte, rounds)
+	for r := range out {
+		coll := corpus.Generate(p, roundBytes, seed+int64(r)*17)
+		bodies := make([][]byte, coll.Len())
+		for i, d := range coll.Docs {
+			bodies[i] = d.Body
+		}
+		out[r] = bodies
+	}
+	return out
+}
+
+// dictTrajectory runs one static-vs-adaptive trajectory arm: append
+// each round, compact with opts, and report the compression ratios the
+// run ends at. lastRatio is the final round's percent-of-original (the
+// headline: it isolates how well the dictionary in force matches the
+// drifted tail), cumRatio the whole collection's, compactSec the total
+// time spent inside Compact, adopted how many new dictionary
+// generations were published after the first.
+func dictTrajectory(tb testing.TB, rounds [][][]byte, opts collection.CompactOptions) (lastRatio, cumRatio, compactSec float64, adopted int) {
+	tb.Helper()
+	dir := filepath.Join(tb.TempDir(), "traj")
+	if err := collection.Init(dir); err != nil {
+		tb.Fatal(err)
+	}
+	col, err := collection.Open(dir, collection.Options{Async: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer col.Close()
+	var rawTotal, lastBefore, lastAfter int64
+	for _, bodies := range rounds {
+		for _, d := range bodies {
+			if _, err := col.Append(d); err != nil {
+				tb.Fatal(err)
+			}
+			rawTotal += int64(len(d))
+		}
+		start := time.Now()
+		res, err := col.Compact(opts)
+		compactSec += time.Since(start).Seconds()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if res.Compacted == 0 {
+			tb.Fatal("compaction drained nothing")
+		}
+		if res.Relearned && res.Dict > 1 {
+			adopted++
+		}
+		lastBefore, lastAfter = res.BytesBefore, res.BytesAfter
+	}
+	var compTotal int64
+	for _, s := range col.Info().Segments {
+		compTotal += s.Size
+	}
+	lastRatio = 100 * float64(lastAfter) / float64(lastBefore)
+	cumRatio = 100 * float64(compTotal) / float64(rawTotal)
+	return lastRatio, cumRatio, compactSec, adopted
+}
+
+// adaptiveCompactOptions is the adaptive arm's shipping-shaped
+// configuration: default adoption gate (2% trial gain), but an eviction
+// fraction matched to the workload's heavy drift — half the dictionary
+// turns over per adopted generation.
+var adaptiveCompactOptions = collection.CompactOptions{Adapt: true, EvictFraction: 0.5}
+
+// BenchmarkDictTrajectory is the ratio-vs-throughput trajectory of the
+// adaptive-dictionary PR (BENCH_dict.json): N append/compact rounds of
+// drifted gov/wiki stand-in crawls, compacted either against the
+// round-0 dictionary forever (static — the pre-PR behavior) or with
+// Adapt re-sampling cold regions from each round's drained documents.
+// The ratio-pct metrics are the final round's percent-of-original;
+// compact-MB/s is raw bytes drained per second of Compact wall time,
+// the throughput the adaptation's trial factorization and re-sampling
+// tax.
+func BenchmarkDictTrajectory(b *testing.B) {
+	c := cfg(b)
+	const rounds = 4
+	profiles := []struct {
+		name  string
+		p     corpus.Profile
+		bytes int
+	}{
+		{"gov", corpus.Gov, c.GovBytes},
+		{"wiki", corpus.Wiki, c.WikiBytes},
+	}
+	modes := []struct {
+		name string
+		opts collection.CompactOptions
+	}{
+		{"static", collection.CompactOptions{}},
+		{"adaptive", adaptiveCompactOptions},
+	}
+	for _, pr := range profiles {
+		work := dictRounds(pr.p, rounds, pr.bytes/rounds, c.Seed)
+		var raw int64
+		for _, bodies := range work {
+			for _, d := range bodies {
+				raw += int64(len(d))
+			}
+		}
+		for _, mode := range modes {
+			b.Run(pr.name+"/"+mode.name, func(b *testing.B) {
+				var lastRatio, cumRatio, compactSec float64
+				var adopted int
+				for i := 0; i < b.N; i++ {
+					lastRatio, cumRatio, compactSec, adopted = dictTrajectory(b, work, mode.opts)
+				}
+				b.ReportMetric(lastRatio, "last-round-ratio-pct")
+				b.ReportMetric(cumRatio, "cum-ratio-pct")
+				b.ReportMetric(float64(raw)/1e6/compactSec, "compact-MB/s")
+				b.ReportMetric(float64(adopted), "dicts-adopted")
+			})
+		}
+	}
+}
+
+// TestAdaptiveRatioFloor is the CI bench smoke for the adaptive
+// dictionary (the BENCH_dict.json trajectory): a miniature drifted
+// gov-profile run must show the adaptive arm beating the static one on
+// the final round's ratio by a healthy margin, and adopting at least
+// one new generation along the way. The floor (10% relative
+// improvement) sits well under the recorded trajectory's gap so corpus
+// tweaks don't flake it while a broken heat/eviction/adoption path —
+// which collapses the gap to ~0 — still trips it. Ratios are
+// deterministic in the seeds; the gate keeps local `go test` fast, not
+// stable — CI sets RLZ_BENCH_SMOKE=1.
+func TestAdaptiveRatioFloor(t *testing.T) {
+	if os.Getenv("RLZ_BENCH_SMOKE") == "" {
+		t.Skip("set RLZ_BENCH_SMOKE=1 to run the adaptive ratio floor guard")
+	}
+	const (
+		rounds     = 3
+		roundBytes = 2 << 20
+		seed       = 7
+	)
+	work := dictRounds(corpus.Gov, rounds, roundBytes, seed)
+	staticLast, _, _, _ := dictTrajectory(t, work, collection.CompactOptions{})
+	adaptLast, _, _, adopted := dictTrajectory(t, work, adaptiveCompactOptions)
+	if adopted == 0 {
+		t.Fatal("adaptive trajectory adopted no new dictionary generation on a drifted workload")
+	}
+	improvement := 1 - adaptLast/staticLast
+	t.Logf("final-round ratio: static %.2f%%, adaptive %.2f%% (%.1f%% better, %d generations adopted)",
+		staticLast, adaptLast, 100*improvement, adopted)
+	if improvement < 0.10 {
+		t.Errorf("adaptive final-round ratio %.2f%% improves on static %.2f%% by only %.1f%%, want >= 10%% (see BENCH_dict.json)",
+			adaptLast, staticLast, 100*improvement)
+	}
+}
+
+// TestDictTrajectorySmoke keeps the trajectory harness itself under
+// ordinary `go test`: a tiny two-round run must compact every round and
+// produce sane ratios in both modes.
+func TestDictTrajectorySmoke(t *testing.T) {
+	work := dictRounds(corpus.Gov, 2, 256<<10, 3)
+	for _, opts := range []collection.CompactOptions{{}, adaptiveCompactOptions} {
+		last, cum, _, _ := dictTrajectory(t, work, opts)
+		if last <= 0 || last > 100 || cum <= 0 || cum > 100 {
+			t.Fatalf("adapt=%v: ratios last=%.2f cum=%.2f out of range", opts.Adapt, last, cum)
+		}
+	}
+}

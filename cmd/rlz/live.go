@@ -110,6 +110,10 @@ func cmdCompact(args []string) error {
 	factQ := fs.Int("factq", 0, "factorization jump-table q-gram width (1-3); 0 means 2")
 	noJump := fs.Bool("nojump", false, "disable the factorization jump table")
 	workers := fs.Int("workers", 0, "build concurrency; 0 means GOMAXPROCS")
+	adapt := fs.Bool("adapt", false, "learn: evict cold dictionary regions and re-sample from the drained documents, adopting the result when the trial gain clears -gain")
+	evict := fs.Float64("evict", 0, "fraction of dictionary regions an adaptive re-sample evicts, coldest first (0 means 0.25)")
+	gain := fs.Float64("gain", 0, "relative encoded-byte saving required to adopt an adaptive dictionary (0 means 0.02; negative adopts always)")
+	upgradeStale := fs.Bool("upgrade-stale", false, "also rewrite RLZ segments built against older dictionary generations, retiring them")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,11 +142,15 @@ func cmdCompact(args []string) error {
 	}
 	defer col.Close()
 	res, err := col.Compact(collection.CompactOptions{
-		Codec:      codec,
-		DictSize:   ds,
-		SampleSize: ss,
-		Factorizer: rlz.FactorizerOptions{Q: *factQ, DisableJump: *noJump},
-		Workers:    *workers,
+		Codec:         codec,
+		DictSize:      ds,
+		SampleSize:    ss,
+		Adapt:         *adapt,
+		EvictFraction: *evict,
+		MinRatioGain:  *gain,
+		UpgradeStale:  *upgradeStale,
+		Factorizer:    rlz.FactorizerOptions{Q: *factQ, DisableJump: *noJump},
+		Workers:       *workers,
 	})
 	if err != nil {
 		return err
@@ -155,8 +163,14 @@ func cmdCompact(args []string) error {
 	if res.BytesBefore > 0 {
 		ratio = 100 * float64(res.BytesAfter) / float64(res.BytesBefore)
 	}
-	fmt.Printf("%s: compacted %d segments into %d (%d docs, %d -> %d bytes, %.2f%%), generation %d\n",
-		*dir, res.Compacted, len(res.NewSegments), res.Docs, res.BytesBefore, res.BytesAfter, ratio, res.Generation)
+	dictNote := ""
+	if res.Relearned {
+		dictNote = fmt.Sprintf(", adopted dictionary %d", res.Dict)
+	} else if res.Dict != 0 {
+		dictNote = fmt.Sprintf(", dictionary %d", res.Dict)
+	}
+	fmt.Printf("%s: compacted %d segments into %d (%d docs, %d -> %d bytes, %.2f%%%s), generation %d\n",
+		*dir, res.Compacted, len(res.NewSegments), res.Docs, res.BytesBefore, res.BytesAfter, ratio, dictNote, res.Generation)
 	return nil
 }
 

@@ -211,6 +211,73 @@ func TestLiveCollectionLifecycle(t *testing.T) {
 	}
 }
 
+// TestStatsDictBlock: after a compaction, /stats carries a per-generation
+// dictionary block — id, file size, segments built against it, and the
+// generation's compression ratio — under the JSON names the endpoint
+// promises.
+func TestStatsDictBlock(t *testing.T) {
+	docs := makeDocs(40, 9)
+	ts, _, _ := newLiveServer(t, 0)
+	hg := &workload.HTTPGetter{BaseURL: ts.URL, Client: ts.Client()}
+	for i, d := range docs {
+		if _, err := hg.Append(d); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	resp, err := ts.Client().Post(ts.URL+"/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /compact = %d", resp.StatusCode)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	raw, _ := io.ReadAll(sresp.Body)
+	// Pin the JSON field names first, then check values through the
+	// typed struct.
+	var shape struct {
+		Live struct {
+			Dicts []map[string]any `json:"dicts"`
+		} `json:"live"`
+	}
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatal(err)
+	}
+	if len(shape.Live.Dicts) != 1 {
+		t.Fatalf("stats dicts = %d entries, want 1: %s", len(shape.Live.Dicts), raw)
+	}
+	for _, key := range []string{
+		"id", "path", "size_bytes", "segments", "raw_bytes",
+		"compressed_bytes", "ratio_percent", "unused_percent",
+	} {
+		if _, ok := shape.Live.Dicts[0][key]; !ok {
+			t.Errorf("dict block missing key %q", key)
+		}
+	}
+	var st statsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	d := st.Live.Dicts[0]
+	if d.ID == 0 || d.Path == "" || d.Size <= 0 {
+		t.Errorf("dict identity %+v not plausible", d)
+	}
+	if d.Segments == 0 || d.Raw <= 0 || d.Compressed <= 0 || d.RatioPercent <= 0 {
+		t.Errorf("dict attribution %+v not plausible", d)
+	}
+	// The compaction just ran against this dictionary, so usage was
+	// observed: unused share is a real percentage, not the -1 sentinel.
+	if d.UnusedPercent < 0 || d.UnusedPercent > 100 {
+		t.Errorf("unused_percent = %v, want [0,100]", d.UnusedPercent)
+	}
+}
+
 // TestMixedWorkloadAgainstLiveDaemon drives the daemon with the mixed
 // read/append closed-loop generator — the load shape a live store
 // exists for — and proves every appended document landed readable.

@@ -70,6 +70,9 @@ func main() {
 	appendBatch := fs.Int("append-batch", 256, "largest accepted POST /append/batch document count")
 	compactAfter := fs.Int("compact-after", 0, "auto-compact when this many documents await compaction; 0 disables (live collections)")
 	compactEvery := fs.Duration("compact-every", 0, "auto-compact on this interval when work is pending; 0 disables (live collections)")
+	adapt := fs.Bool("adapt", false, "compactions learn: evict cold dictionary regions, re-sample from drained documents, adopt on trial gain (live collections)")
+	adaptEvict := fs.Float64("adapt-evict", 0, "fraction of dictionary regions an adaptive re-sample evicts (0 means 0.25)")
+	adaptGain := fs.Float64("adapt-gain", 0, "relative encoded-byte saving required to adopt an adaptive dictionary (0 means 0.02)")
 	fs.Parse(os.Args[1:])
 	if *arc == "" {
 		fmt.Fprintln(os.Stderr, "rlzd: -a is required")
@@ -111,13 +114,14 @@ func main() {
 	log.Printf("rlzd: serving %s (%s, %d docs, %d bytes) on %s",
 		*arc, backendLabel(r), st.NumDocs, st.Size, *addr)
 
+	copts := collection.CompactOptions{Adapt: *adapt, EvictFraction: *adaptEvict, MinRatioGain: *adaptGain}
 	if live && (*compactAfter > 0 || *compactEvery > 0) {
-		go autoCompact(col, *compactAfter, *compactEvery)
+		go autoCompact(col, *compactAfter, *compactEvery, copts)
 	}
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      newMux(srv, col, muxOptions{maxBatch: *maxBatch, maxDoc: int64(maxDocBytes), appendBatch: *appendBatch}),
+		Handler:      newMux(srv, col, muxOptions{maxBatch: *maxBatch, maxDoc: int64(maxDocBytes), appendBatch: *appendBatch, compact: copts}),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
@@ -129,7 +133,7 @@ func main() {
 // sealed segments) and drains them into RLZ segments when the threshold
 // is met. Compaction runs concurrently with serving — reads route
 // through the old generation until the new one is published atomically.
-func autoCompact(col *collection.Collection, after int, every time.Duration) {
+func autoCompact(col *collection.Collection, after int, every time.Duration, opts collection.CompactOptions) {
 	tick := every
 	if tick <= 0 {
 		tick = time.Second
@@ -142,7 +146,7 @@ func autoCompact(col *collection.Collection, after int, every time.Duration) {
 		if after > 0 && info.PendingDocs < after {
 			continue
 		}
-		res, err := col.Compact(collection.CompactOptions{})
+		res, err := col.Compact(opts)
 		if err != nil {
 			// A compaction already running (a POST /compact, or a long
 			// auto pass outliving the tick) is expected contention, not
@@ -153,8 +157,12 @@ func autoCompact(col *collection.Collection, after int, every time.Duration) {
 			continue
 		}
 		if res.Compacted > 0 {
-			log.Printf("rlzd: auto-compacted %d segments (%d docs, %d -> %d bytes), generation %d",
-				res.Compacted, res.Docs, res.BytesBefore, res.BytesAfter, res.Generation)
+			note := ""
+			if res.Relearned {
+				note = fmt.Sprintf(", adopted dictionary %d", res.Dict)
+			}
+			log.Printf("rlzd: auto-compacted %d segments (%d docs, %d -> %d bytes%s), generation %d",
+				res.Compacted, res.Docs, res.BytesBefore, res.BytesAfter, note, res.Generation)
 		}
 	}
 }

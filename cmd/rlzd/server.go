@@ -70,8 +70,9 @@ type appendBatchResponse struct {
 // muxOptions carries the write-path configuration of newMux.
 type muxOptions struct {
 	maxBatch    int
-	maxDoc      int64 // largest accepted POST /append body
-	appendBatch int   // largest accepted POST /append/batch document count
+	maxDoc      int64                     // largest accepted POST /append body
+	appendBatch int                       // largest accepted POST /append/batch document count
+	compact     collection.CompactOptions // options for POST /compact (and the auto-compactor)
 	errlog      *log.Logger
 }
 
@@ -331,9 +332,11 @@ func newMux(srv *serve.Server, col *collection.Collection, opt muxOptions) http.
 		if readOnly(w) {
 			return
 		}
-		// Zero options: repository-default codec, dictionary budget and
-		// factorizer (rlz compact has the tuning flags for offline runs).
-		res, err := col.Compact(collection.CompactOptions{})
+		// The daemon's configured options: repository-default codec,
+		// dictionary budget and factorizer, plus adaptive learning when
+		// -adapt is set (rlz compact has the full tuning flags for
+		// offline runs).
+		res, err := col.Compact(opt.compact)
 		if err != nil {
 			if errors.Is(err, collection.ErrCompacting) {
 				http.Error(w, err.Error(), http.StatusConflict)

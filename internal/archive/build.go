@@ -39,6 +39,12 @@ type Options struct {
 	// build speed only. The jump table is built once per dictionary and
 	// shared by all workers (and, via PreparedDict, all shards).
 	Factorizer rlz.FactorizerOptions
+	// Heat optionally accumulates dictionary-region usage from every
+	// factorization this build performs (sequential and parallel paths
+	// alike; Observe is atomic, so all workers share the accumulator).
+	// Compaction feeds this into adaptive re-sampling to rank hot/cold
+	// dictionary regions. It does not change the archive bytes.
+	Heat *rlz.RegionHeat
 
 	// Block: uncompressed block capacity (0 = one document per block),
 	// compressor, and LZ77 tuning for the lzma stand-in.
@@ -93,6 +99,7 @@ func NewWriter(w io.Writer, opts Options) (Writer, error) {
 			return nil, err
 		}
 		sw.ConfigureFactorizer(opts.Factorizer)
+		sw.CollectHeat(opts.Heat)
 		return rlzWriter{sw}, nil
 	case Block:
 		bw, err := blockstore.NewWriter(w, blockstore.Options{
@@ -166,7 +173,11 @@ func build(aw Writer, src DocSource, opts Options) (BuildResult, error) {
 		pipe := pipeline.NewOrdered(opts.workers(),
 			func(doc []byte) ([]byte, error) {
 				fz := fzPool.Get().(*rlz.Factorizer)
-				rec := codec.Encode(nil, fz.Factorize(doc, nil))
+				factors := fz.Factorize(doc, nil)
+				if opts.Heat != nil {
+					opts.Heat.Observe(factors)
+				}
+				rec := codec.Encode(nil, factors)
 				fzPool.Put(fz)
 				return rec, nil
 			},

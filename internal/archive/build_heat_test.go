@@ -1,0 +1,48 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"rlz/internal/rlz"
+)
+
+// TestBuildCollectsHeat pins that a build feeds Options.Heat identically
+// on the sequential and parallel paths — same factorizations, same
+// region counts — and that heat collection never changes archive bytes.
+func TestBuildCollectsHeat(t *testing.T) {
+	docs := makeDocs(60, 9)
+	dict := dictFor(docs)
+
+	var plain bytes.Buffer
+	if _, err := Build(&plain, FromBodies(docs), Options{Dict: dict, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	heats := map[string]*rlz.RegionHeat{}
+	for name, workers := range map[string]int{"sequential": 1, "parallel": 4} {
+		h := rlz.NewRegionHeat(len(dict), 64)
+		var buf bytes.Buffer
+		if _, err := Build(&buf, FromBodies(docs), Options{Dict: dict, Workers: workers, Heat: h}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), plain.Bytes()) {
+			t.Fatalf("%s: heat collection changed archive bytes", name)
+		}
+		if h.Copies() == 0 {
+			t.Fatalf("%s: no copy factors observed", name)
+		}
+		heats[name] = h
+	}
+
+	seq, par := heats["sequential"], heats["parallel"]
+	if seq.Copies() != par.Copies() || seq.Literals() != par.Literals() {
+		t.Fatalf("copies/literals diverge: sequential %d/%d, parallel %d/%d",
+			seq.Copies(), seq.Literals(), par.Copies(), par.Literals())
+	}
+	for r := 0; r < seq.Regions(); r++ {
+		if seq.Count(r) != par.Count(r) {
+			t.Fatalf("region %d: sequential count %d, parallel %d", r, seq.Count(r), par.Count(r))
+		}
+	}
+}

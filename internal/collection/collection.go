@@ -13,6 +13,7 @@ import (
 	"rlz/internal/archive"
 	"rlz/internal/docmap"
 	"rlz/internal/faultfs"
+	"rlz/internal/rawstore"
 	"rlz/internal/rlz"
 	"rlz/internal/wal"
 )
@@ -209,7 +210,18 @@ type Collection struct {
 
 	view atomic.Pointer[view]
 
-	dict *rlz.Dictionary // shared prepared compaction dictionary
+	// dictMu guards the prepared-dictionary cache and the usage
+	// accumulator. Prepared dictionaries (suffix array + jump tables) are
+	// built once per generation per process and shared by all build
+	// workers; entries are released when the generation retires
+	// (releaseDicts), not at process exit.
+	dictMu sync.Mutex
+	dicts  map[uint64]*rlz.Dictionary
+	// heat accumulates factor-reference usage of dictionary heatID across
+	// compaction builds — the signal adaptive re-sampling evicts cold
+	// regions by. In-memory only; a restart starts cold.
+	heat   *rlz.RegionHeat
+	heatID uint64
 }
 
 // Init creates an empty collection at dir (creating the directory if
@@ -244,7 +256,8 @@ func Open(dir string, opts Options) (*Collection, error) {
 		return nil, err
 	}
 	c := &Collection{dir: dir, opts: opts, fs: opts.FS, man: man,
-		checkpointBytes: opts.CheckpointBytes}
+		checkpointBytes: opts.CheckpointBytes,
+		dicts:           make(map[uint64]*rlz.Dictionary)}
 	if c.checkpointBytes <= 0 {
 		c.checkpointBytes = 4 << 20
 	}
@@ -429,6 +442,7 @@ func (c *Collection) cloneManifest() *Manifest {
 		Generation: c.man.Generation,
 		NextSeq:    c.man.NextSeq,
 		OpenSeg:    c.man.OpenSeg,
+		Dicts:      append([]Dict(nil), c.man.Dicts...),
 		Segments:   append([]Segment(nil), c.man.Segments...),
 		Tombstones: append([]int(nil), c.man.Tombstones...),
 	}
@@ -741,6 +755,7 @@ func (c *Collection) sealLocked() error {
 	}
 	open := v.open
 	docs := open.count()
+	raw := open.size() - rawstore.HeaderSize
 	if err := open.seal(); err != nil {
 		return err
 	}
@@ -753,7 +768,7 @@ func (c *Collection) sealLocked() error {
 		return fmt.Errorf("collection: sealed segment %s holds %d documents, expected %d", open.name, sr.NumDocs(), docs)
 	}
 	m := c.cloneManifest()
-	m.Segments = append(m.Segments, Segment{Path: open.name, Docs: docs})
+	m.Segments = append(m.Segments, Segment{Path: open.name, Docs: docs, Raw: raw})
 	m.OpenSeg = ""
 	nv := cloneView(v)
 	nv.starts = append(nv.starts, nv.sealed()+docs)
@@ -1015,11 +1030,32 @@ type SegmentInfo struct {
 	Size    int64           `json:"size_bytes"`
 }
 
+// DictInfo describes one dictionary generation for stats and tooling.
+type DictInfo struct {
+	ID   uint64 `json:"id"`
+	Path string `json:"path"`
+	Size int64  `json:"size_bytes"`
+	// Segments counts the live segments factorized against this
+	// dictionary; Raw and Compressed sum their payloads, so
+	// 100*Compressed/Raw is the generation's compression ratio in the
+	// paper's percent-of-original terms (RatioPercent, 0 when unknown).
+	Segments     int     `json:"segments"`
+	Raw          int64   `json:"raw_bytes"`
+	Compressed   int64   `json:"compressed_bytes"`
+	RatioPercent float64 `json:"ratio_percent"`
+	// UnusedPercent is the share of dictionary regions no factor has
+	// referenced since this process started heating the dictionary, or -1
+	// when no usage has been observed (not the compaction target, or no
+	// compaction ran yet).
+	UnusedPercent float64 `json:"unused_percent"`
+}
+
 // Info is a point-in-time snapshot of the collection's generational
 // shape — what rlzd's /stats breakdown serves.
 type Info struct {
 	Generation uint64        `json:"generation"`
 	Segments   []SegmentInfo `json:"segments"`
+	Dicts      []DictInfo    `json:"dicts,omitempty"`
 	OpenSeg    string        `json:"open_segment,omitempty"`
 	OpenDocs   int           `json:"open_docs"`
 	Tombstones int           `json:"tombstones"`
@@ -1030,11 +1066,22 @@ type Info struct {
 	PendingDocs int `json:"pending_docs"`
 }
 
-// Info snapshots the collection's generational shape.
+// Info snapshots the collection's generational shape. The write lock is
+// held briefly so the manifest (dictionary attribution, raw sizes) and
+// the view agree.
 func (c *Collection) Info() Info {
-	v, release := c.acquireView()
-	defer release()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.view.Load()
 	info := Info{Generation: v.gen, Tombstones: len(v.tomb), NumDocs: c.numDocs(v)}
+	perDict := make(map[uint64]*DictInfo, len(c.man.Dicts))
+	for _, d := range c.man.Dicts {
+		di := &DictInfo{ID: d.ID, Path: d.Path, UnusedPercent: -1}
+		if st, err := c.fs.Stat(filepath.Join(c.dir, d.Path)); err == nil {
+			di.Size = st.Size()
+		}
+		perDict[d.ID] = di
+	}
 	for i, sr := range v.segs {
 		st := sr.Stats()
 		info.Segments = append(info.Segments, SegmentInfo{
@@ -1043,6 +1090,28 @@ func (c *Collection) Info() Info {
 		if st.Backend == archive.Raw {
 			info.PendingDocs += st.NumDocs
 		}
+		if i < len(c.man.Segments) {
+			if s := c.man.Segments[i]; s.Dict != 0 {
+				if di := perDict[s.Dict]; di != nil {
+					di.Segments++
+					di.Raw += s.Raw
+					di.Compressed += sr.Size()
+				}
+			}
+		}
+	}
+	c.dictMu.Lock()
+	heat, heatID := c.heat, c.heatID
+	c.dictMu.Unlock()
+	for _, d := range c.man.Dicts {
+		di := perDict[d.ID]
+		if di.Raw > 0 {
+			di.RatioPercent = 100 * float64(di.Compressed) / float64(di.Raw)
+		}
+		if heat != nil && heatID == d.ID && heat.Copies() > 0 {
+			di.UnusedPercent = heat.UnusedPercent()
+		}
+		info.Dicts = append(info.Dicts, *di)
 	}
 	if v.open != nil {
 		info.OpenSeg = v.open.name
@@ -1063,7 +1132,17 @@ func (c *Collection) GC() ([]string, error) {
 	if c.compacting {
 		return nil, ErrCompacting
 	}
-	keep := map[string]bool{ManifestName: true, DictName: true, wal.FileName: true}
+	keep := map[string]bool{ManifestName: true, wal.FileName: true}
+	// The legacy unversioned DICT file is sacred only until it is either
+	// migrated into the dictionary list (where it is kept by path like
+	// any generation) or superseded; an unreferenced DICT alongside a
+	// versioned list is a leftover from its retirement.
+	if len(c.man.Dicts) == 0 {
+		keep[DictName] = true
+	}
+	for _, d := range c.man.Dicts {
+		keep[filepath.ToSlash(filepath.Clean(d.Path))] = true
+	}
 	for _, s := range c.man.Segments {
 		// Keep the whole first path element: a shard-set segment is a
 		// subdirectory.
@@ -1084,10 +1163,11 @@ func (c *Collection) GC() ([]string, error) {
 		if keep[name] {
 			continue
 		}
-		// Only touch files this package created: segment files, their
-		// sidecars, and temporaries. Anything else in the directory is
-		// the user's business.
-		if !strings.HasPrefix(name, "seg-") && !strings.HasSuffix(name, ".tmp") {
+		// Only touch files this package created: segment files, dictionary
+		// generations, their sidecars, temporaries, and a retired legacy
+		// DICT. Anything else in the directory is the user's business.
+		if !strings.HasPrefix(name, "seg-") && !strings.HasPrefix(name, "dict-") &&
+			!strings.HasSuffix(name, ".tmp") && name != DictName {
 			continue
 		}
 		if err := c.fs.RemoveAll(filepath.Join(c.dir, name)); err != nil {
@@ -1095,6 +1175,13 @@ func (c *Collection) GC() ([]string, error) {
 		}
 		removed = append(removed, name)
 	}
+	// Prepared in-memory state follows the file set: only live
+	// generations stay cached.
+	live := make(map[uint64]bool, len(c.man.Dicts))
+	for _, d := range c.man.Dicts {
+		live[d.ID] = true
+	}
+	c.releaseDicts(live)
 	sort.Strings(removed)
 	return removed, nil
 }

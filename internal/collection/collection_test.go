@@ -497,9 +497,12 @@ func TestCompactAllTombstoned(t *testing.T) {
 	}
 	deleted := map[int]bool{0: true, 1: true, 2: true, 3: true}
 	checkDocs(t, c, docs, deleted)
-	// The degenerate placeholder dictionary must not have been persisted.
-	if _, err := os.Stat(filepath.Join(dir, DictName)); !os.IsNotExist(err) {
-		t.Fatalf("placeholder dictionary persisted: %v", err)
+	// The degenerate placeholder dictionary must not have been versioned.
+	if man, err := ReadManifest(filepath.Join(dir, ManifestName)); err != nil || len(man.Dicts) != 0 {
+		t.Fatalf("placeholder dictionary versioned: dicts %+v, %v", man.Dicts, err)
+	}
+	if res.Dict != 0 || res.Relearned {
+		t.Fatalf("placeholder compaction reported dict %d (relearned %v)", res.Dict, res.Relearned)
 	}
 	// Real documents afterwards sample a real dictionary.
 	for _, d := range docs {
@@ -507,10 +510,18 @@ func TestCompactAllTombstoned(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Compact(CompactOptions{}); err != nil {
+	res, err = c.Compact(CompactOptions{})
+	if err != nil {
 		t.Fatalf("second compaction: %v", err)
 	}
-	if st, err := os.Stat(filepath.Join(dir, DictName)); err != nil || st.Size() == 0 {
+	if res.Dict == 0 || !res.Relearned {
+		t.Fatalf("second compaction result %+v, want an adopted dictionary", res)
+	}
+	man, err := ReadManifest(filepath.Join(dir, ManifestName))
+	if err != nil || len(man.Dicts) != 1 {
+		t.Fatalf("manifest dicts %+v, %v", man, err)
+	}
+	if st, err := os.Stat(filepath.Join(dir, man.Dicts[0].Path)); err != nil || st.Size() == 0 {
 		t.Fatalf("real dictionary not persisted: %v", err)
 	}
 	all := append(append([][]byte{}, docs...), docs...)

@@ -18,20 +18,54 @@ import (
 type CompactOptions struct {
 	// Codec is the RLZ pair codec for compacted segments.
 	Codec rlz.PairCodec
-	// Dict supplies the compaction dictionary directly. When empty, the
-	// DICT file is used if present; otherwise a dictionary is sampled
-	// from the documents being compacted and persisted as DICT, so every
-	// later compaction factorizes against the same dictionary.
+	// Dict supplies the compaction dictionary directly; it becomes a new
+	// dictionary generation unless it equals the current one. When empty,
+	// the current generation is reused (or, on the first compaction, a
+	// dictionary is sampled from the documents being compacted and
+	// published as generation 1).
 	Dict []byte
 	// DictSize and SampleSize tune dictionary sampling (see
 	// archive.SampleDict); ignored when a dictionary already exists.
 	DictSize   int
 	SampleSize int
+	// Adapt lets this compaction learn: a candidate dictionary is built
+	// by evicting the current one's cold regions (ranked by usage
+	// observed in earlier compaction builds) and re-sampling the
+	// replacement bytes from the documents being drained. The candidate
+	// is adopted as a new generation only when a trial factorization
+	// shows at least MinRatioGain encoded-byte saving; otherwise the
+	// current dictionary is reused. The first compaction against a
+	// dictionary has no usage data and always reuses.
+	Adapt bool
+	// EvictFraction is the fraction of dictionary regions an adaptive
+	// re-sample evicts, coldest first (0 selects 0.25).
+	EvictFraction float64
+	// MinRatioGain is the relative encoded-byte saving a candidate must
+	// show in the trial to be adopted (0 selects 0.02, i.e. 2% smaller;
+	// negative adopts unconditionally).
+	MinRatioGain float64
+	// UpgradeStale additionally rewrites RLZ segments built against
+	// non-current dictionary generations, so retired dictionaries drain
+	// to zero references (and their files and prepared in-memory state
+	// are released). Without it, compaction only drains raw segments and
+	// old generations stay readable against their recorded dictionaries
+	// indefinitely. Staleness is judged against the newest generation as
+	// the compaction starts: when the same pass adopts a new dictionary,
+	// segments built against the previously-current one become stale and
+	// drain on the next UpgradeStale pass, not this one.
+	UpgradeStale bool
 	// Factorizer tunes the fast factorization engine (PR 4); shared by
 	// every build worker through the one prepared dictionary.
 	Factorizer rlz.FactorizerOptions
 	// Workers bounds build concurrency; 0 means GOMAXPROCS.
 	Workers int
+}
+
+func (o CompactOptions) minRatioGain() float64 {
+	if o.MinRatioGain == 0 {
+		return 0.02
+	}
+	return o.MinRatioGain
 }
 
 // CompactResult summarizes one compaction.
@@ -42,6 +76,11 @@ type CompactResult struct {
 	Docs        int      `json:"docs"`
 	BytesBefore int64    `json:"bytes_before"`
 	BytesAfter  int64    `json:"bytes_after"`
+	// Dict is the dictionary generation the new segments were factorized
+	// against (0 when every pending document was empty); Relearned
+	// reports whether this compaction adopted it as a new generation.
+	Dict      uint64 `json:"dict_id,omitempty"`
+	Relearned bool   `json:"dict_relearned,omitempty"`
 }
 
 // run is one maximal run of consecutive raw segments to be drained into
@@ -81,7 +120,8 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 		return res, err
 	}
 	v := c.view.Load()
-	runs := findRuns(v, &c.man.NextSeq)
+	dicts := append([]Dict(nil), c.man.Dicts...)
+	runs := findRuns(v, c.man, &c.man.NextSeq, opts.UpgradeStale)
 	if len(runs) == 0 {
 		res.Generation = v.gen
 		c.mu.Unlock()
@@ -91,34 +131,46 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 	c.compacting = true
 	c.mu.Unlock()
 
+	var chosen chosenDict
 	finish := func(err error) (CompactResult, error) {
+		if chosen.fresh {
+			// The adopted dictionary was published but no manifest will
+			// reference it: drop the prepared state and the orphan file.
+			c.releaseDict(chosen.id)
+			_ = c.fs.Remove(filepath.Join(c.dir, chosen.path))
+		}
 		c.mu.Lock()
 		c.compacting = false
 		c.mu.Unlock()
 		return res, err
 	}
 
-	dict, err := c.ensureDict(runs, tomb, opts)
+	var err error
+	chosen, err = c.chooseDict(dicts, runs, tomb, opts)
 	if err != nil {
 		return finish(err)
 	}
 	aopts := archive.Options{
 		Backend:      archive.RLZ,
 		Codec:        opts.Codec,
-		PreparedDict: dict,
+		PreparedDict: chosen.dict,
 		Factorizer:   opts.Factorizer,
 		Workers:      opts.Workers,
+		Heat:         chosen.heat,
 	}
 	built := make([]string, len(runs))
+	rawBytes := make([]int64, len(runs))
 	for i := range runs {
 		name := segFileName(runs[i].seq)
-		if err := buildRunSegment(c.fs, c.dir, name, &runs[i], tomb, aopts); err != nil {
+		raw, err := buildRunSegment(c.fs, c.dir, name, &runs[i], tomb, aopts)
+		if err != nil {
 			for _, b := range built[:i] {
 				_ = c.fs.Remove(filepath.Join(c.dir, b))
 			}
 			return finish(err)
 		}
 		built[i] = name
+		rawBytes[i] = raw
 	}
 
 	// Open and verify every replacement before touching shared state, so
@@ -172,7 +224,7 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 			superseded = append(superseded, p.Path)
 		}
 		res.BytesAfter += newReaders[i].Size()
-		m.Segments = splice(m.Segments, r.lo, r.hi, Segment{Path: name, Docs: r.docs})
+		m.Segments = splice(m.Segments, r.lo, r.hi, Segment{Path: name, Docs: r.docs, Dict: chosen.id, Raw: rawBytes[i]})
 		// The replaced readers simply drop out of the new view; their
 		// resource entries close once the older views drain.
 		nv.segs = splice(nv.segs, r.lo, r.hi, newReaders[i])
@@ -194,6 +246,32 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 		nv.starts[i+1] = nv.starts[i] + sr.NumDocs()
 		nv.sizes += sr.Size()
 	}
+	// Maintain the dictionary list: add the adopted generation, retire
+	// generations no live segment references any more. The newest
+	// generation always stays — it is the next compaction's target even
+	// while momentarily unreferenced.
+	if chosen.fresh {
+		m.Dicts = append(m.Dicts, Dict{ID: chosen.id, Path: chosen.path})
+	}
+	var retired []Dict
+	if len(m.Dicts) > 0 {
+		refd := make(map[uint64]bool, len(m.Dicts))
+		for _, s := range m.Segments {
+			if s.Dict != 0 {
+				refd[s.Dict] = true
+			}
+		}
+		newest := m.Dicts[len(m.Dicts)-1].ID
+		kept := m.Dicts[:0]
+		for _, d := range m.Dicts {
+			if refd[d.ID] || d.ID == newest {
+				kept = append(kept, d)
+			} else {
+				retired = append(retired, d)
+			}
+		}
+		m.Dicts = kept
+	}
 	if err := c.publishLocked(m, nv); err != nil {
 		c.compacting = false
 		c.mu.Unlock()
@@ -207,35 +285,77 @@ func (c *Collection) Compact(opts CompactOptions) (CompactResult, error) {
 		return res, err
 	}
 	res.Generation = m.Generation
+	res.Dict = chosen.id
+	res.Relearned = chosen.fresh
 	c.compacting = false
 	c.mu.Unlock()
+
+	// Commit the usage accumulator the build fed, so the next adaptive
+	// pass ranks regions by what this one observed (accumulating across
+	// compactions while the dictionary is unchanged).
+	if chosen.id != 0 {
+		c.dictMu.Lock()
+		c.heat = chosen.heat
+		c.heatID = chosen.id
+		c.dictMu.Unlock()
+	}
 
 	// Garbage-collect the superseded segment files. Old views may still
 	// be mid-read on them: their readers stay open (retired) and POSIX
 	// keeps unlinked files readable, so removal is safe immediately.
+	// Retired dictionary files follow the same rule — prepared in-memory
+	// state goes with them (the satellite fix: a long-running daemon no
+	// longer pins every generation's suffix array forever).
 	for _, p := range superseded {
 		_ = c.fs.RemoveAll(filepath.Join(c.dir, p))
 		_ = c.fs.Remove(filepath.Join(c.dir, lensName(p)))
 	}
+	if len(retired) > 0 {
+		live := make(map[uint64]bool, len(m.Dicts))
+		for _, d := range m.Dicts {
+			live[d.ID] = true
+		}
+		c.releaseDicts(live)
+		for _, d := range retired {
+			_ = c.fs.Remove(filepath.Join(c.dir, d.Path))
+		}
+	}
 	return res, nil
 }
 
-// findRuns collects the maximal runs of consecutive raw segments and
-// allocates each replacement's sequence number. The allocation is
-// persisted only by the final publish: a crash in between leaves a .tmp
-// or a fully renamed orphan under a not-yet-persisted sequence number —
-// both unreferenced by the manifest, skipped by the open-segment
-// allocator, overwritable by a retried compaction, and removed by gc.
-func findRuns(v *view, nextSeq *uint64) []run {
+// findRuns collects the maximal runs of consecutive compactable segments
+// and allocates each replacement's sequence number. A raw segment is
+// always compactable; with upgrade set, RLZ segments built against a
+// non-current dictionary generation are too (staleness is judged against
+// the manifest's newest dictionary id — 0 when no dictionary exists
+// yet). The allocation is persisted only by the final publish: a crash
+// in between leaves a .tmp or a fully renamed orphan under a
+// not-yet-persisted sequence number — both unreferenced by the manifest,
+// skipped by the open-segment allocator, overwritable by a retried
+// compaction, and removed by gc.
+func findRuns(v *view, man *Manifest, nextSeq *uint64, upgrade bool) []run {
+	newest := uint64(0)
+	if len(man.Dicts) > 0 {
+		newest = man.Dicts[len(man.Dicts)-1].ID
+	}
+	compactable := func(i int) bool {
+		switch v.segs[i].Stats().Backend {
+		case archive.Raw:
+			return true
+		case archive.RLZ:
+			return upgrade && i < len(man.Segments) && man.Segments[i].Dict != newest
+		}
+		return false
+	}
 	var runs []run
 	i := 0
 	for i < len(v.segs) {
-		if v.segs[i].Stats().Backend != archive.Raw {
+		if !compactable(i) {
 			i++
 			continue
 		}
 		r := run{lo: i, start: v.starts[i]}
-		for i < len(v.segs) && v.segs[i].Stats().Backend == archive.Raw {
+		for i < len(v.segs) && compactable(i) {
 			r.docs += v.segs[i].NumDocs()
 			r.bytes += v.segs[i].Size()
 			r.segs = append(r.segs, v.segs[i])
@@ -287,19 +407,21 @@ func (s *runSource) Next() (archive.Doc, error) {
 
 // buildRunSegment builds one run's replacement RLZ archive at its final
 // name via tmp+fsync+rename, so a crash leaves no half-written segment
-// under a live name.
+// under a live name. Returns the uncompressed payload bytes consumed —
+// the manifest's Raw figure for per-dictionary ratio reporting.
 //
 //rlz:publishes
-func buildRunSegment(fs faultfs.FS, dir, name string, r *run, tomb map[int]struct{}, aopts archive.Options) error {
+func buildRunSegment(fs faultfs.FS, dir, name string, r *run, tomb map[int]struct{}, aopts archive.Options) (int64, error) {
 	tmp := filepath.Join(dir, name+".tmp")
 	src := &runSource{r: r, tomb: tomb, id: r.start}
-	if _, err := archive.Create(tmp, src, aopts); err != nil {
-		return fmt.Errorf("collection: compacting into %s: %w", name, err)
+	res, err := archive.Create(tmp, src, aopts)
+	if err != nil {
+		return 0, fmt.Errorf("collection: compacting into %s: %w", name, err)
 	}
 	f, err := fs.OpenFile(tmp, os.O_RDWR, 0o644)
 	if err != nil {
 		_ = fs.Remove(tmp)
-		return err
+		return 0, err
 	}
 	err = f.Sync()
 	if cerr := f.Close(); err == nil {
@@ -307,64 +429,13 @@ func buildRunSegment(fs faultfs.FS, dir, name string, r *run, tomb map[int]struc
 	}
 	if err != nil {
 		_ = fs.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		_ = fs.Remove(tmp)
-		return err
+		return 0, err
 	}
-	return fs.SyncDir(dir)
-}
-
-// ensureDict returns the shared prepared compaction dictionary, building
-// it on first use: explicit option bytes win, then the persisted DICT
-// file, then a fresh sample over the documents about to be compacted
-// (persisted as DICT for every later compaction). The O(m log m)
-// suffix-array preparation happens once per process and is shared by all
-// build workers and all compactions — the PR 4 contract.
-func (c *Collection) ensureDict(runs []run, tomb map[int]struct{}, opts CompactOptions) (*rlz.Dictionary, error) {
-	if c.dict != nil {
-		return c.dict, nil
-	}
-	data := opts.Dict
-	persist := len(data) > 0 // caller-supplied bytes become the collection's DICT
-	dictPath := filepath.Join(c.dir, DictName)
-	if len(data) == 0 {
-		if b, err := c.fs.ReadFile(dictPath); err == nil && len(b) > 0 {
-			data = b // already persisted; no rewrite needed
-		}
-	}
-	if len(data) == 0 {
-		openSrc := func() (archive.DocSource, error) {
-			return &multiRunSource{runs: runs, tomb: tomb}, nil
-		}
-		var err error
-		data, _, err = archive.SampleDict(openSrc, opts.DictSize, opts.SampleSize)
-		if err != nil {
-			return nil, fmt.Errorf("collection: sampling compaction dictionary: %w", err)
-		}
-		persist = len(data) > 0 // a fresh sample becomes the collection's DICT
-		if len(data) == 0 {
-			// Every pending document is empty or tombstoned: there is
-			// nothing to sample, but the run must still drain (otherwise
-			// the auto-compactor retries it forever). Factorize against a
-			// minimal placeholder and neither persist nor cache it, so
-			// the first compaction that sees real bytes samples a proper
-			// dictionary.
-			return rlz.NewDictionary([]byte{0})
-		}
-	}
-	if persist {
-		if err := writeFileAtomic(c.fs, dictPath, data); err != nil {
-			return nil, fmt.Errorf("collection: persisting dictionary: %w", err)
-		}
-	}
-	d, err := rlz.NewDictionary(data)
-	if err != nil {
-		return nil, err
-	}
-	c.dict = d
-	return d, nil
+	return res.RawBytes, fs.SyncDir(dir)
 }
 
 // multiRunSource chains every run's documents for dictionary sampling.

@@ -41,15 +41,21 @@ import (
 )
 
 const (
-	version     = 1
+	// version is the manifest format written by Marshal. Version 1 had no
+	// dictionary list and no per-segment dictionary/raw-size fields;
+	// UnmarshalManifest still reads it (collections created before
+	// per-generation dictionaries upgrade on their first publish).
+	version     = 2
+	versionV1   = 1
 	headerMagic = "LIVC"
 	footerMagic = "LIVE"
 
-	// maxSegments and maxTombstones bound a hostile manifest's declared
-	// counts so it cannot demand absurd allocations; both are far above
-	// any sane deployment.
+	// maxSegments, maxTombstones and maxDicts bound a hostile manifest's
+	// declared counts so it cannot demand absurd allocations; all are far
+	// above any sane deployment.
 	maxSegments   = 1 << 20
 	maxTombstones = 1 << 28
+	maxDicts      = 1 << 20
 )
 
 // ErrCorruptManifest is returned when a generation manifest fails
@@ -60,8 +66,21 @@ var ErrCorruptManifest = errors.New("collection: corrupt manifest")
 // directory. It equals archive.DirManifest so archive.Open(dir) finds it.
 const ManifestName = archive.DirManifest
 
-// DictName is the shared compaction dictionary's file name.
+// DictName is the legacy shared compaction dictionary's file name
+// (manifest v1 collections). Open migrates it into the versioned
+// dictionary list as generation 1; new dictionaries are numbered files
+// (see dictFileName) listed in the manifest.
 const DictName = "DICT"
+
+// Dict names one immutable dictionary generation: the id segments refer
+// to it by and the file (relative to the collection directory) holding
+// its text. Dictionary files are published atomically before any
+// manifest references them, and removed by GC once no live segment
+// names their id.
+type Dict struct {
+	ID   uint64
+	Path string
+}
 
 // Segment describes one immutable segment of a generation: a sealed
 // archive file (or shard-set directory) and the document count it owns.
@@ -75,6 +94,17 @@ type Segment struct {
 	// Docs is the segment's document count (tombstoned ids included —
 	// tombstones mask documents, they do not renumber them).
 	Docs int
+	// Dict is the id of the dictionary this segment was factorized
+	// against, or 0 for segments that used none (raw segments) or predate
+	// dictionary versioning. The id is attribution only — RLZ archives
+	// embed their dictionary bytes, so a segment decodes standalone —
+	// but it is what lets GC retire dictionary files and the stats
+	// surface report per-generation ratios.
+	Dict uint64
+	// Raw is the segment's uncompressed payload size in bytes (0 when
+	// unknown, e.g. segments written before manifest v2). With the file
+	// size it yields the segment's compression ratio.
+	Raw int64
 }
 
 // Manifest is one generation of a collection: the ordered immutable
@@ -90,6 +120,11 @@ type Manifest struct {
 	// OpenSeg is the file name of the active append segment's data file
 	// (its length sidecar is OpenSeg+".lens"), or "" when none is open.
 	OpenSeg string
+	// Dicts lists the dictionary generations live segments may reference,
+	// ids strictly ascending. The last entry is the current compaction
+	// target; earlier ones are retained only while a segment still names
+	// them.
+	Dicts []Dict
 	// Segments lists the sealed segments in global-id order.
 	Segments []Segment
 	// Tombstones lists deleted global ids, sorted ascending, unique.
@@ -145,6 +180,27 @@ func (m *Manifest) validate() error {
 			return fmt.Errorf("%w: open segment %q must be a plain file name", ErrCorruptManifest, m.OpenSeg)
 		}
 	}
+	dictIDs := make(map[uint64]bool, len(m.Dicts))
+	dictPaths := make(map[string]int, len(m.Dicts))
+	prevID := uint64(0)
+	for i, d := range m.Dicts {
+		if d.ID <= prevID {
+			return fmt.Errorf("%w: dictionary ids not strictly ascending at %d", ErrCorruptManifest, i)
+		}
+		prevID = d.ID
+		if err := validName(d.Path); err != nil {
+			return fmt.Errorf("%w: dictionary %d %v", ErrCorruptManifest, i, err)
+		}
+		clean := filepath.Clean(filepath.ToSlash(d.Path))
+		if j, dup := dictPaths[clean]; dup {
+			return fmt.Errorf("%w: dictionaries %d and %d both name %q", ErrCorruptManifest, j, i, d.Path)
+		}
+		dictPaths[clean] = i
+		dictIDs[d.ID] = true
+		if clean == m.OpenSeg {
+			return fmt.Errorf("%w: dictionary %d names the open segment %q", ErrCorruptManifest, i, d.Path)
+		}
+	}
 	seen := make(map[string]int, len(m.Segments))
 	for i, s := range m.Segments {
 		if err := validName(s.Path); err != nil {
@@ -163,6 +219,15 @@ func (m *Manifest) validate() error {
 		}
 		if s.Docs < 0 {
 			return fmt.Errorf("%w: segment %d has negative document count", ErrCorruptManifest, i)
+		}
+		if _, dup := dictPaths[clean]; dup {
+			return fmt.Errorf("%w: segment %d names dictionary file %q", ErrCorruptManifest, i, s.Path)
+		}
+		if s.Dict != 0 && !dictIDs[s.Dict] {
+			return fmt.Errorf("%w: segment %d references unknown dictionary %d", ErrCorruptManifest, i, s.Dict)
+		}
+		if s.Raw < 0 {
+			return fmt.Errorf("%w: segment %d has negative raw size", ErrCorruptManifest, i)
 		}
 	}
 	prev := -1
@@ -186,11 +251,19 @@ func (m *Manifest) Marshal(dst []byte) []byte {
 	dst = coding.PutUvarint64(dst, m.NextSeq)
 	dst = coding.PutUvarint64(dst, uint64(len(m.OpenSeg)))
 	dst = append(dst, m.OpenSeg...)
+	dst = coding.PutUvarint64(dst, uint64(len(m.Dicts)))
+	for _, d := range m.Dicts {
+		dst = coding.PutUvarint64(dst, d.ID)
+		dst = coding.PutUvarint64(dst, uint64(len(d.Path)))
+		dst = append(dst, d.Path...)
+	}
 	dst = coding.PutUvarint64(dst, uint64(len(m.Segments)))
 	for _, s := range m.Segments {
 		dst = coding.PutUvarint64(dst, uint64(len(s.Path)))
 		dst = append(dst, s.Path...)
 		dst = coding.PutUvarint64(dst, uint64(s.Docs))
+		dst = coding.PutUvarint64(dst, s.Dict)
+		dst = coding.PutUvarint64(dst, uint64(s.Raw))
 	}
 	dst = coding.PutUvarint64(dst, uint64(len(m.Tombstones)))
 	prev := 0
@@ -212,8 +285,9 @@ func UnmarshalManifest(src []byte) (*Manifest, error) {
 	if len(src) < len(headerMagic)+1 || string(src[:4]) != headerMagic {
 		return nil, fmt.Errorf("%w: missing %q header", ErrCorruptManifest, headerMagic)
 	}
-	if src[4] != version {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptManifest, src[4], version)
+	ver := src[4]
+	if ver != version && ver != versionV1 {
+		return nil, fmt.Errorf("%w: version %d, want %d or %d", ErrCorruptManifest, ver, versionV1, version)
 	}
 	pos := len(headerMagic) + 1
 	num := func(what string) (uint64, error) {
@@ -248,6 +322,28 @@ func UnmarshalManifest(src []byte) (*Manifest, error) {
 	if m.OpenSeg, err = str("open segment"); err != nil {
 		return nil, err
 	}
+	if ver >= 2 {
+		dcount, err := num("dictionary count")
+		if err != nil {
+			return nil, err
+		}
+		// Each dictionary needs at least 2 bytes (id + empty path length).
+		if dcount > maxDicts || dcount > uint64(len(src)-pos)/2 {
+			return nil, fmt.Errorf("%w: implausible dictionary count %d for %d remaining bytes", ErrCorruptManifest, dcount, len(src)-pos)
+		}
+		m.Dicts = make([]Dict, 0, dcount)
+		for i := uint64(0); i < dcount; i++ {
+			id, err := num(fmt.Sprintf("dictionary %d id", i))
+			if err != nil {
+				return nil, err
+			}
+			path, err := str(fmt.Sprintf("dictionary %d path", i))
+			if err != nil {
+				return nil, err
+			}
+			m.Dicts = append(m.Dicts, Dict{ID: id, Path: path})
+		}
+	}
 	count, err := num("segment count")
 	if err != nil {
 		return nil, err
@@ -269,7 +365,21 @@ func UnmarshalManifest(src []byte) (*Manifest, error) {
 		if docs > 1<<56 {
 			return nil, fmt.Errorf("%w: segment %d docs %d overflows", ErrCorruptManifest, i, docs)
 		}
-		m.Segments = append(m.Segments, Segment{Path: path, Docs: int(docs)})
+		seg := Segment{Path: path, Docs: int(docs)}
+		if ver >= 2 {
+			if seg.Dict, err = num(fmt.Sprintf("segment %d dictionary", i)); err != nil {
+				return nil, err
+			}
+			raw, err := num(fmt.Sprintf("segment %d raw size", i))
+			if err != nil {
+				return nil, err
+			}
+			if raw > 1<<62 {
+				return nil, fmt.Errorf("%w: segment %d raw size %d overflows", ErrCorruptManifest, i, raw)
+			}
+			seg.Raw = int64(raw)
+		}
+		m.Segments = append(m.Segments, seg)
 	}
 	tombs, err := num("tombstone count")
 	if err != nil {

@@ -39,6 +39,70 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestManifestRoundTripDicts(t *testing.T) {
+	m := &Manifest{
+		Generation: 4,
+		NextSeq:    9,
+		Dicts:      []Dict{{ID: 1, Path: "dict-00000001"}, {ID: 3, Path: "dict-00000003"}},
+		Segments: []Segment{
+			{Path: "seg-00000001", Docs: 10, Dict: 1, Raw: 4096},
+			{Path: "seg-00000005", Docs: 2},
+			{Path: "seg-00000007", Docs: 7, Dict: 3, Raw: 1 << 40},
+		},
+	}
+	got := roundTrip(t, m)
+	if len(got.Dicts) != 2 || got.Dicts[0] != m.Dicts[0] || got.Dicts[1] != m.Dicts[1] {
+		t.Fatalf("dicts %+v", got.Dicts)
+	}
+	for i, s := range got.Segments {
+		if s != m.Segments[i] {
+			t.Fatalf("segment %d: got %+v, want %+v", i, s, m.Segments[i])
+		}
+	}
+}
+
+// TestManifestReadsV1 pins back-compat: a version-1 manifest (no
+// dictionary list, no per-segment dict/raw fields) still parses, with
+// the new fields zero.
+func TestManifestReadsV1(t *testing.T) {
+	m := &Manifest{
+		Generation: 7,
+		NextSeq:    3,
+		OpenSeg:    "seg-00000002",
+		Segments:   []Segment{{Path: "seg-00000001", Docs: 5}},
+		Tombstones: []int{2},
+	}
+	// Hand-roll the v1 encoding: same layout minus the dict list and the
+	// per-segment dict/raw fields.
+	b := m.Marshal(nil)
+	var v1 []byte
+	v1 = append(v1, b[:4]...)
+	v1 = append(v1, versionV1)
+	v1 = append(v1, 7, 3) // generation, nextSeq
+	v1 = append(v1, byte(len(m.OpenSeg)))
+	v1 = append(v1, m.OpenSeg...)
+	v1 = append(v1, 1) // segment count
+	v1 = append(v1, byte(len("seg-00000001")))
+	v1 = append(v1, "seg-00000001"...)
+	v1 = append(v1, 5)    // docs
+	v1 = append(v1, 1, 2) // tombstone count, delta
+	v1 = append(v1, footerMagic...)
+	got, err := UnmarshalManifest(v1)
+	if err != nil {
+		t.Fatalf("v1 parse: %v", err)
+	}
+	if got.Generation != 7 || got.OpenSeg != m.OpenSeg || len(got.Dicts) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	if s := got.Segments[0]; s.Path != "seg-00000001" || s.Docs != 5 || s.Dict != 0 || s.Raw != 0 {
+		t.Fatalf("segment %+v", s)
+	}
+	// Re-marshal upgrades to the current version and stays readable.
+	if _, err := UnmarshalManifest(got.Marshal(nil)); err != nil {
+		t.Fatalf("upgraded remarshal: %v", err)
+	}
+}
+
 func TestManifestRoundTripMinimal(t *testing.T) {
 	got := roundTrip(t, &Manifest{Generation: 1, NextSeq: 1})
 	if got.Generation != 1 || len(got.Segments) != 0 || len(got.Tombstones) != 0 || got.OpenSeg != "" {
@@ -106,6 +170,37 @@ func TestManifestRejectsHostile(t *testing.T) {
 		{"generation zero", func() []byte {
 			m := *base
 			m.Generation = 0
+			return m.Marshal(nil)
+		}},
+		{"dict ids not ascending", func() []byte {
+			m := *base
+			m.Dicts = []Dict{{ID: 2, Path: "dict-00000002"}, {ID: 2, Path: "dict-00000003"}}
+			return m.Marshal(nil)
+		}},
+		{"dict id zero", func() []byte {
+			m := *base
+			m.Dicts = []Dict{{ID: 0, Path: "dict-00000000"}}
+			return m.Marshal(nil)
+		}},
+		{"duplicate dict path", func() []byte {
+			m := *base
+			m.Dicts = []Dict{{ID: 1, Path: "d"}, {ID: 2, Path: "./d"}}
+			return m.Marshal(nil)
+		}},
+		{"escaping dict path", func() []byte {
+			m := *base
+			m.Dicts = []Dict{{ID: 1, Path: "../outside"}}
+			return m.Marshal(nil)
+		}},
+		{"segment references unknown dict", func() []byte {
+			m := *base
+			m.Segments = []Segment{{Path: "seg-00000001", Docs: 4, Dict: 9}}
+			return m.Marshal(nil)
+		}},
+		{"segment naming dict file", func() []byte {
+			m := *base
+			m.Dicts = []Dict{{ID: 1, Path: "dict-00000001"}}
+			m.Segments = []Segment{{Path: "dict-00000001", Docs: 4, Dict: 1}}
 			return m.Marshal(nil)
 		}},
 	}

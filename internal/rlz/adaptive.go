@@ -1,0 +1,111 @@
+package rlz
+
+// AdaptiveOptions tunes adaptive dictionary re-sampling. The zero value
+// selects the defaults.
+type AdaptiveOptions struct {
+	// EvictFraction is the fraction of dictionary regions to evict,
+	// coldest first (0 selects 0.25; values are clamped to [0, 1]).
+	// Evicting 1.0 resamples the whole dictionary from the recent
+	// stream; 0 with a non-zero default still evicts a quarter.
+	EvictFraction float64
+	// SampleSize is the even-sampling window for the replacement bytes
+	// (same meaning and 1 KiB default as SampleEven's sampleSize).
+	SampleSize int
+}
+
+func (o AdaptiveOptions) evictFraction() float64 {
+	f := o.EvictFraction
+	if f == 0 {
+		f = 0.25
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// AdaptiveSampler builds the next generation of an RLZ dictionary from
+// the previous generation plus observed usage: the coldest regions (by
+// RegionHeat's factor-reference counts) are evicted and their byte
+// budget is refilled by even-sampling the recent document stream — the
+// documents being drained by the compaction that triggers the re-sample.
+// Surviving regions keep their relative order, so hot template runs
+// spanning region boundaries stay contiguous.
+//
+// When no usage data exists (nil heat, zero observed copy factors, or a
+// heat profile built for a different dictionary length) the sampler
+// degrades to exactly SampleEven over the recent stream with the
+// previous dictionary's size as the budget — the cold-start behavior.
+//
+// Determinism contract: for a fixed previous dictionary, heat profile,
+// options and stream content, the output bytes are identical regardless
+// of how the stream is chunked across Write calls, on every platform.
+// Eviction ties break by region index (see RegionHeat.ColdestRegions)
+// and the replacement sampler is the deterministic EvenSampler. Tests
+// (TestAdaptiveSamplerDeterministic) and CONTRIBUTING.md pin this:
+// compaction must produce the same dictionary for the same inputs so
+// differential tests and reproducible experiments stay possible.
+type AdaptiveSampler struct {
+	kept []byte
+	es   *EvenSampler
+}
+
+// NewAdaptiveSampler prepares a re-sampling pass. prev is the previous
+// dictionary's text, heat its observed usage, totalLen the total byte
+// length of the recent stream about to be fed through Write (the same
+// two-pass contract as NewEvenSampler).
+func NewAdaptiveSampler(prev []byte, heat *RegionHeat, totalLen int64, opts AdaptiveOptions) *AdaptiveSampler {
+	s := &AdaptiveSampler{}
+	if heat == nil || heat.Copies() == 0 || heat.DictLen() != len(prev) || len(prev) == 0 {
+		// No usable usage signal: plain even sampling at the previous
+		// budget (or nothing when there was no previous dictionary —
+		// the caller should have sampled fresh instead).
+		s.es = NewEvenSampler(totalLen, len(prev), opts.SampleSize)
+		return s
+	}
+	regions := heat.Regions()
+	evict := int(float64(regions) * opts.evictFraction())
+	if evict < 1 {
+		evict = 1 // an adaptive pass that evicts nothing learns nothing
+	}
+	if evict > regions {
+		evict = regions
+	}
+	dead := make(map[int]bool, evict)
+	for _, r := range heat.ColdestRegions(evict) {
+		dead[r] = true
+	}
+	rs := heat.RegionSize()
+	s.kept = make([]byte, 0, len(prev))
+	for r := 0; r < regions; r++ {
+		if dead[r] {
+			continue
+		}
+		lo := r * rs
+		hi := lo + rs
+		if hi > len(prev) {
+			hi = len(prev)
+		}
+		s.kept = append(s.kept, prev[lo:hi]...)
+	}
+	s.es = NewEvenSampler(totalLen, len(prev)-len(s.kept), opts.SampleSize)
+	return s
+}
+
+// Write consumes the next chunk of the recent document stream. It never
+// fails; the error is for io.Writer conformance.
+func (s *AdaptiveSampler) Write(p []byte) (int, error) { return s.es.Write(p) }
+
+// Bytes returns the next-generation dictionary text: surviving regions
+// in dictionary order followed by the freshly sampled replacement bytes.
+// The result is at most the previous dictionary's size (smaller only
+// when the recent stream cannot fill the replacement budget).
+func (s *AdaptiveSampler) Bytes() []byte {
+	fresh := s.es.Bytes()
+	out := make([]byte, 0, len(s.kept)+len(fresh))
+	out = append(out, s.kept...)
+	return append(out, fresh...)
+}

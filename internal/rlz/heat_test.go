@@ -1,0 +1,116 @@
+package rlz
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegionHeatCounts(t *testing.T) {
+	h := NewRegionHeat(4096, 1024)
+	if h.Regions() != 4 {
+		t.Fatalf("Regions() = %d, want 4", h.Regions())
+	}
+	h.Observe([]Factor{
+		{Pos: 0, Len: 10},      // region 0
+		{Pos: 1020, Len: 10},   // spans regions 0 and 1
+		{Pos: 3000, Len: 1000}, // spans regions 2 and 3
+		{Pos: 'x', Len: 0},     // literal: no region
+	})
+	want := []int64{2, 1, 1, 1}
+	for r, w := range want {
+		if got := h.Count(r); got != w {
+			t.Errorf("region %d count = %d, want %d", r, got, w)
+		}
+	}
+	if h.Copies() != 3 || h.Literals() != 1 {
+		t.Errorf("Copies/Literals = %d/%d, want 3/1", h.Copies(), h.Literals())
+	}
+}
+
+func TestRegionHeatRoundsUpRegions(t *testing.T) {
+	h := NewRegionHeat(1025, 1024)
+	if h.Regions() != 2 {
+		t.Fatalf("Regions() = %d, want 2 (trailing partial region)", h.Regions())
+	}
+	// A factor reaching past the dictionary length clips instead of
+	// panicking (defensive: factors come from the trusted factorizer,
+	// but heat should never be the thing that crashes a compaction).
+	h.Observe([]Factor{{Pos: 1024, Len: 5000}})
+	if h.Count(1) != 1 {
+		t.Errorf("clipped factor not counted in last region")
+	}
+}
+
+func TestRegionHeatUnusedPercent(t *testing.T) {
+	h := NewRegionHeat(4096, 1024)
+	if got := h.UnusedPercent(); got != 100 {
+		t.Fatalf("fresh heat UnusedPercent = %v, want 100", got)
+	}
+	h.Observe([]Factor{{Pos: 0, Len: 1}, {Pos: 2048, Len: 1}})
+	if got := h.UnusedPercent(); got != 50 {
+		t.Fatalf("UnusedPercent = %v, want 50", got)
+	}
+}
+
+func TestRegionHeatColdestRegionsDeterministic(t *testing.T) {
+	h := NewRegionHeat(8192, 1024) // 8 regions
+	h.Observe([]Factor{
+		{Pos: 0, Len: 1}, {Pos: 0, Len: 1}, {Pos: 0, Len: 1}, // region 0: 3
+		{Pos: 1024, Len: 1},                      // region 1: 1
+		{Pos: 3072, Len: 1},                      // region 3: 1
+		{Pos: 5120, Len: 1}, {Pos: 5120, Len: 1}, // region 5: 2
+	})
+	// Counts: [3,1,0,1,0,2,0,0]. Coldest 5 by (count, index):
+	// 2,4,6,7 (zeros, index order) then 1 (count 1, lowest index).
+	got := h.ColdestRegions(5)
+	want := []int{2, 4, 6, 7, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ColdestRegions(5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColdestRegions(5) = %v, want %v", got, want)
+		}
+	}
+	if n := len(h.ColdestRegions(100)); n != 8 {
+		t.Errorf("ColdestRegions clamps to region count, got %d", n)
+	}
+	if h.ColdestRegions(0) != nil {
+		t.Errorf("ColdestRegions(0) should be nil")
+	}
+}
+
+// TestRegionHeatConcurrentObserve pins that parallel build workers can
+// share one accumulator: counts must equal the sequential sum.
+func TestRegionHeatConcurrentObserve(t *testing.T) {
+	h := NewRegionHeat(16<<10, 1024)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe([]Factor{
+					{Pos: uint32((w*perWorker + i) % (15 << 10)), Len: 64},
+					{Pos: 'a', Len: 0},
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Copies() != workers*perWorker {
+		t.Errorf("Copies = %d, want %d", h.Copies(), workers*perWorker)
+	}
+	if h.Literals() != workers*perWorker {
+		t.Errorf("Literals = %d, want %d", h.Literals(), workers*perWorker)
+	}
+	var sum int64
+	for r := 0; r < h.Regions(); r++ {
+		sum += h.Count(r)
+	}
+	// Every factor spans at most two regions, at least one.
+	if sum < workers*perWorker || sum > 2*workers*perWorker {
+		t.Errorf("total region counts %d outside [%d, %d]", sum, workers*perWorker, 2*workers*perWorker)
+	}
+}

@@ -48,6 +48,7 @@ type Writer struct {
 	fz      *rlz.Factorizer // lazy: prefactored writers never factorize
 	m       *docmap.Map
 	stats   *rlz.Stats
+	heat    *rlz.RegionHeat
 	factors []rlz.Factor // reused across Appends
 	scratch []byte
 	closed  bool
@@ -121,6 +122,14 @@ func newWriter(w io.Writer, dict *rlz.Dictionary, dictData []byte, codec rlz.Pai
 // factorization performed by subsequent Appends. Pass nil to detach.
 func (w *Writer) CollectStats(s *rlz.Stats) { w.stats = s }
 
+// CollectHeat attaches a dictionary-usage accumulator that will observe
+// every factorization performed by subsequent Appends — the signal
+// adaptive re-sampling ranks hot/cold dictionary regions by. Pass nil to
+// detach. Like CollectStats, documents committed via AppendEncoded are
+// not observed here; parallel build pipelines feed the accumulator from
+// their workers instead (archive.Options.Heat).
+func (w *Writer) CollectHeat(h *rlz.RegionHeat) { w.heat = h }
+
 // Dictionary returns the writer's dictionary (e.g. to share with other
 // writers or to inspect).
 func (w *Writer) Dictionary() *rlz.Dictionary { return w.dict }
@@ -189,6 +198,9 @@ func (w *Writer) AppendEncoded(rec []byte) (int, error) {
 func (w *Writer) appendFactors(factors []rlz.Factor) (int, error) {
 	if w.stats != nil {
 		w.stats.Observe(factors)
+	}
+	if w.heat != nil {
+		w.heat.Observe(factors)
 	}
 	w.scratch = w.codec.Encode(w.scratch[:0], factors)
 	if _, err := w.w.Write(w.scratch); err != nil {
